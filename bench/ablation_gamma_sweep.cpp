@@ -1,0 +1,68 @@
+// Ablation: the consolidation factor gamma (section IV-C). Sweeps gamma
+// for a light topology (Throughput Test) and a work-intensive one (Word
+// Count) and reports nodes used vs processing time — the consolidation /
+// performance tradeoff the paper discusses ("the consolidation factor
+// should not be greedily set to a large value" for heavy bolts).
+#include <iomanip>
+#include <iostream>
+
+#include "harness.h"
+#include "metrics/reporter.h"
+#include "workload/external_queue.h"
+#include "workload/topologies.h"
+
+using namespace tstorm;
+
+namespace {
+
+bench::RunResult run_tt(double gamma) {
+  bench::RunSpec spec;
+  spec.label = "g=" + metrics::format_ms(gamma, 1);
+  spec.tstorm = true;
+  spec.core.gamma = gamma;
+  spec.make_topology = [](sim::Simulation&,
+                          std::vector<std::shared_ptr<void>>&) {
+    return workload::make_throughput_test();
+  };
+  return bench::run(spec);
+}
+
+bench::RunResult run_wc(double gamma) {
+  bench::RunSpec spec;
+  spec.label = "g=" + metrics::format_ms(gamma, 1);
+  spec.tstorm = true;
+  spec.core.gamma = gamma;
+  spec.make_topology = [](sim::Simulation& sim,
+                          std::vector<std::shared_ptr<void>>& keepalive) {
+    auto wc = workload::make_word_count();
+    auto producer =
+        std::make_shared<workload::QueueProducer>(sim, *wc.queue, 260.0);
+    producer->start();
+    keepalive.push_back(wc.queue);
+    keepalive.push_back(std::move(producer));
+    return std::move(wc.topology);
+  };
+  return bench::run(spec);
+}
+
+void sweep(const char* title, bench::RunResult (*runner)(double)) {
+  std::cout << "\n== " << title << " ==\n"
+            << "   gamma     nodes   avg proc (ms) [500,1000)\n";
+  for (double gamma : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    const auto r = runner(gamma);
+    std::cout << "   " << std::setw(5) << gamma << "   " << std::setw(6)
+              << r.final_nodes() << "   " << std::setw(12)
+              << metrics::format_ms(r.mean_ms(500, 1000)) << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation — consolidation factor sweep\n";
+  sweep("Throughput Test (light bolts: consolidates far without penalty)",
+        &run_tt);
+  sweep("Word Count (work-intensive bolts: consolidation costs latency)",
+        &run_wc);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension bench: whole-node failure. Stock Storm's supervisors restart
+// failed *workers*, but when an entire machine dies nobody moves its
+// executors — the topology stays crippled until an operator intervenes.
+// T-Storm's schedule generator sees assignments pointing at the dead node
+// and republishes a repaired schedule within one monitoring period.
+#include <iostream>
+
+#include "harness.h"
+#include "metrics/reporter.h"
+#include "workload/topologies.h"
+
+using namespace tstorm;
+
+namespace {
+
+bench::RunSpec spec_for(const std::string& label, bool tstorm) {
+  bench::RunSpec spec;
+  spec.label = label;
+  spec.tstorm = tstorm;
+  spec.core.gamma = 2.0;
+  spec.duration = 600.0;
+  spec.make_topology = [](sim::Simulation&,
+                          std::vector<std::shared_ptr<void>>&) {
+    return workload::make_throughput_test();
+  };
+  spec.after_submit = [](sim::Simulation& sim, runtime::Cluster& cluster) {
+    // A machine dies at t=200 s. Node 0 always hosts executors by then.
+    sim.schedule_at(200.0, [&cluster] { cluster.fail_node(0); });
+  };
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension — whole-node failure at t=200 s (Throughput "
+               "Test)\n";
+
+  const auto storm = bench::run(spec_for("Storm", false));
+  const auto tstorm = bench::run(spec_for("T-Storm", true));
+
+  bench::print_comparison("Node-failure recovery", {storm, tstorm},
+                          /*stabilized_from=*/300.0, /*duration=*/600.0);
+  bench::print_node_timeline(storm);
+  bench::print_node_timeline(tstorm);
+
+  std::cout << "\nPost-failure damage ([200,600) s):\n";
+  for (const auto* r : {&storm, &tstorm}) {
+    std::cout << "  " << r->label << ": failed " << r->failed
+              << " tuples, completed " << r->completed << ", mean "
+              << metrics::format_ms(r->mean_ms(300, 600)) << " ms\n";
+  }
+  std::cout << "\nExpectation: Storm keeps failing the tuples routed to the "
+               "dead node's executors forever; T-Storm reschedules around "
+               "the dead machine within ~30 s and completions recover.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation: T-Storm's smooth reassignment machinery (section IV-D) on vs
+// off. Same topology, same schedule change at the same time; the only
+// difference is the reassignment procedure:
+//   abrupt — Storm semantics: affected workers are killed immediately,
+//            replacements start after the JVM spawn delay, spouts never
+//            pause; queued and in-flight tuples are lost and time out.
+//   smooth — T-Storm semantics: replacements start first, old workers
+//            drain for 20 s, spouts halt 10 s, the per-slot dispatcher
+//            routes in-flight tuples to old/new workers by assignment ID.
+#include <iostream>
+
+#include "core/custom_scheduler.h"
+#include "core/load_monitor.h"
+#include "core/metrics_db.h"
+#include "core/schedule_generator.h"
+#include "harness.h"
+#include "metrics/reporter.h"
+#include "sched/round_robin.h"
+#include "workload/topologies.h"
+
+using namespace tstorm;
+
+namespace {
+
+struct AblationResult {
+  bench::RunResult run;
+  std::uint64_t publishes = 0;
+};
+
+/// Full T-Storm control plane over a cluster whose smoothing flag we
+/// control directly (TStormSystem always enables it).
+AblationResult run_with_smoothing(bool smooth) {
+  sim::Simulation sim;
+  runtime::ClusterConfig cluster_cfg;
+  cluster_cfg.smooth_reassignment = smooth;
+  runtime::Cluster cluster(sim, cluster_cfg);
+
+  core::CoreConfig core;
+  core.gamma = 2.0;
+  core.generation_period = 200.0;  // one reassignment at t=200
+  core::MetricsDb db(core.alpha);
+  std::vector<std::unique_ptr<core::LoadMonitor>> monitors;
+  for (int n = 0; n < cluster_cfg.num_nodes; ++n) {
+    monitors.push_back(std::make_unique<core::LoadMonitor>(
+        cluster, db, n, core.monitor_period));
+    monitors.back()->start(core.monitor_period * (n + 1) /
+                           (cluster_cfg.num_nodes + 1));
+  }
+  core::ScheduleGenerator generator(cluster, db, core);
+  generator.start();
+  core::CustomScheduler scheduler(cluster, db, core.fetch_period);
+  scheduler.start();
+
+  sched::TStormInitialScheduler initial;
+  cluster.submit(workload::make_throughput_test(), &initial);
+
+  AblationResult out;
+  out.run.label = smooth ? "smooth (T-Storm)" : "abrupt (Storm)";
+  sim::PeriodicTask sampler(sim, 10.0, [&] {
+    out.run.nodes.emplace_back(sim.now(), cluster.nodes_in_use());
+  });
+  sampler.start(10.0);
+
+  sim.run_until(600.0);
+  out.run.proc_ms = cluster.completion().proc_time_ms();
+  out.run.failures = cluster.completion().failures();
+  out.run.completed = cluster.completion().total_completed();
+  out.run.failed = cluster.completion().total_failed();
+  out.run.dropped = cluster.dropped_messages();
+  out.run.replayed = cluster.completion().total_replayed();
+  out.publishes = generator.publishes();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation — reassignment smoothing (section IV-D)\n"
+            << "Throughput Test, gamma=2, one consolidation reassignment at "
+               "t~200 s\n";
+
+  const auto abrupt = run_with_smoothing(false);
+  const auto smooth = run_with_smoothing(true);
+
+  bench::print_comparison("Reassignment procedure ablation",
+                          {abrupt.run, smooth.run},
+                          /*stabilized_from=*/300.0, /*duration=*/600.0);
+
+  std::cout << "\nReassignment cost (the spike around t=200-240 s):\n";
+  for (const auto* r : {&abrupt.run, &smooth.run}) {
+    std::cout << "  " << r->label << ": mean [200,260) = "
+              << metrics::format_ms(r->mean_ms(200, 260))
+              << " ms, dropped messages " << r->dropped
+              << ", failed tuples " << r->failed << ", replays "
+              << r->replayed << "\n";
+  }
+  std::cout << "\nExpectation: the abrupt variant loses queued tuples "
+               "(drops > 0, failures from timeouts); the smooth variant "
+               "hands over with little or no loss.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: input skew vs fields grouping. Fields grouping routes equal
+// keys to the same task, so a Zipf-skewed key distribution concentrates
+// load on one counter executor regardless of scheduling — a bottleneck no
+// placement algorithm can fix (only repartitioning could). Sweeps the
+// Zipf exponent of the Word Count vocabulary and reports the latency and
+// failure cliff when the hottest task saturates.
+#include <iomanip>
+#include <iostream>
+
+#include "harness.h"
+#include "metrics/reporter.h"
+#include "workload/external_queue.h"
+#include "workload/topologies.h"
+
+using namespace tstorm;
+
+namespace {
+
+bench::RunResult run_skew(double zipf_exponent) {
+  bench::RunSpec spec;
+  spec.label = "zipf=" + metrics::format_ms(zipf_exponent, 2);
+  spec.tstorm = true;
+  spec.core.gamma = 1.0;
+  spec.duration = 600.0;
+  spec.make_topology = [zipf_exponent](
+                           sim::Simulation& sim,
+                           std::vector<std::shared_ptr<void>>& keepalive) {
+    workload::WordCountOptions opt;
+    opt.text.zipf_exponent = zipf_exponent;
+    auto wc = workload::make_word_count(opt);
+    auto producer =
+        std::make_shared<workload::QueueProducer>(sim, *wc.queue, 400.0);
+    producer->start();
+    keepalive.push_back(wc.queue);
+    keepalive.push_back(std::move(producer));
+    return std::move(wc.topology);
+  };
+  return bench::run(spec);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation — key skew vs fields grouping (Word Count, 400 "
+               "lines/s, T-Storm gamma=1)\n"
+            << "The hottest word's share grows with the Zipf exponent; all "
+               "of it lands on one counter task.\n\n"
+            << "    zipf       avg[300,600) ms     p99 ms      failed\n";
+  for (double z : {1.01, 1.1, 1.2, 1.3, 1.5}) {
+    const auto r = run_skew(z);
+    std::cout << "    " << std::setw(4) << z << "   " << std::setw(14)
+              << metrics::format_ms(r.mean_ms(300, 600)) << "   "
+              << std::setw(11) << metrics::format_ms(r.p99_ms) << "   "
+              << std::setw(9) << r.failed << "\n";
+  }
+  std::cout << "\nExpectation: latency is flat while the hot counter task "
+               "keeps up, then rises sharply (and tuples eventually time "
+               "out) once its single-thread capacity is exceeded — a "
+               "repartitioning problem, not a placement problem.\n";
+  return 0;
+}

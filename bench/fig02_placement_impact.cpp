@@ -1,0 +1,74 @@
+// Figure 2: impact of inter-process and inter-node traffic.
+//
+// The section III chain topology (1 spout, 4 bolts x 1 executor, 5 acker
+// executors) under three pinned placements:
+//   n1w1  — all executors in one worker on one node;
+//   n5w5  — spread over 5 nodes, one worker per node (default-scheduler
+//           style);
+//   n5w10 — spread over 5 nodes, every executor in its own worker.
+// Paper result: n1w1 < n5w5 (+35 %) < n5w10 (+67 %) after stabilization.
+#include <iostream>
+
+#include "harness.h"
+#include "metrics/reporter.h"
+#include "workload/topologies.h"
+
+using namespace tstorm;
+
+namespace {
+
+bench::RunSpec chain_spec(const std::string& label,
+                          sched::Placement placement) {
+  bench::RunSpec spec;
+  spec.label = label;
+  spec.tstorm = false;
+  spec.duration = 500.0;  // the figure's x-axis runs 100-500 s
+  spec.pin = std::move(placement);
+  spec.make_topology = [](sim::Simulation&,
+                          std::vector<std::shared_ptr<void>>&) {
+    return workload::make_chain();  // 1 spout, 4 bolts, 5 ackers
+  };
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 2 — impact of inter-process and inter-node traffic\n"
+            << "Chain topology: 1 spout, 4 bolts (1 executor each), "
+               "5 ackers; 10 KB tuples, 5 ms spout sleep.\n";
+
+  // Task ids are deterministic: 0 = spout, 1-4 = bolts, 5-9 = ackers.
+  const int kSlotsPerNode = 4;
+
+  sched::Placement n1w1;
+  for (int t = 0; t < 10; ++t) n1w1[t] = 0;
+
+  sched::Placement n5w5;
+  for (int t = 0; t < 10; ++t) n5w5[t] = (t % 5) * kSlotsPerNode;
+
+  sched::Placement n5w10;
+  for (int t = 0; t < 10; ++t) {
+    n5w10[t] = (t % 5) * kSlotsPerNode + (t / 5);
+  }
+
+  std::vector<bench::RunResult> runs;
+  runs.push_back(bench::run(chain_spec("n1w1", std::move(n1w1))));
+  runs.push_back(bench::run(chain_spec("n5w5", std::move(n5w5))));
+  runs.push_back(bench::run(chain_spec("n5w10", std::move(n5w10))));
+
+  bench::print_comparison("Fig. 2: avg processing time by placement", runs,
+                          /*stabilized_from=*/100.0, /*duration=*/500.0);
+
+  const double base = runs[0].mean_ms(100, 500);
+  std::cout << "\nRelative to n1w1: n5w5 +"
+            << metrics::format_ms(100.0 * (runs[1].mean_ms(100, 500) / base -
+                                           1.0),
+                                  1)
+            << "% (paper: +35%), n5w10 +"
+            << metrics::format_ms(100.0 * (runs[2].mean_ms(100, 500) / base -
+                                           1.0),
+                                  1)
+            << "% (paper: +67%)\n";
+  return 0;
+}

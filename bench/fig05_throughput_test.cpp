@@ -1,0 +1,54 @@
+// Figure 5: performance on the Throughput Test topology.
+//
+// 10 worker nodes, 40 workers requested, 5 spout / 15 identity / 15
+// counter / 10 acker executors; 10 KB tuples at 5 ms per spout emission.
+// Storm (default scheduler) vs T-Storm with gamma = 1, 1.7 and 6.
+// Paper result: Storm ~9.25 ms; T-Storm ~0.99 ms (83-84 % speedup) using
+// 10, 7 and finally only 2 worker nodes.
+#include <iostream>
+
+#include "harness.h"
+#include "workload/topologies.h"
+
+using namespace tstorm;
+
+namespace {
+
+bench::RunSpec tt_spec(const std::string& label, bool tstorm, double gamma) {
+  bench::RunSpec spec;
+  spec.label = label;
+  spec.tstorm = tstorm;
+  spec.core.gamma = gamma;
+  spec.make_topology = [](sim::Simulation&,
+                          std::vector<std::shared_ptr<void>>&) {
+    return workload::make_throughput_test();
+  };
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 5 — Throughput Test topology (10 nodes, 40 workers "
+               "requested, 5+15+15 executors, 10 ackers)\n";
+
+  const auto storm = bench::run(tt_spec("Storm", false, 1.0));
+  const auto g1 = bench::run(tt_spec("T-Storm g=1", true, 1.0));
+  const auto g17 = bench::run(tt_spec("T-Storm g=1.7", true, 1.7));
+  const auto g6 = bench::run(tt_spec("T-Storm g=6", true, 6.0));
+
+  bench::print_comparison("Fig. 5(a): gamma = 1 (paper: 83% speedup, 10 nodes)",
+                          {storm, g1}, 200.0, 1000.0);
+  bench::print_node_timeline(g1);
+
+  bench::print_comparison(
+      "Fig. 5(b): gamma = 1.7 (paper: 84% speedup, 7 nodes)", {storm, g17},
+      500.0, 1000.0);
+  bench::print_node_timeline(g17);
+
+  bench::print_comparison(
+      "Fig. 5(c): gamma = 6 (paper: similar speedup, 2 nodes)", {storm, g6},
+      500.0, 1000.0);
+  bench::print_node_timeline(g6);
+  return 0;
+}

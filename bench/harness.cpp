@@ -1,0 +1,170 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "core/energy_meter.h"
+#include "metrics/reporter.h"
+#include "sched/manual.h"
+
+namespace tstorm::bench {
+
+double RunResult::mean_ms(double from, double to) const {
+  const auto m = proc_ms.mean_between(from, to);
+  return m.has_value() ? *m : std::nan("");
+}
+
+int RunResult::final_nodes() const {
+  return nodes.empty() ? 0 : nodes.back().second;
+}
+
+int RunResult::max_nodes() const {
+  int best = 0;
+  for (const auto& [t, n] : nodes) best = std::max(best, n);
+  return best;
+}
+
+RunResult run(const RunSpec& spec) {
+  sim::Simulation sim;
+  RunResult result;
+  result.label = spec.label;
+
+  std::vector<std::shared_ptr<void>> keepalive;
+  std::unique_ptr<core::StormSystem> storm;
+  std::unique_ptr<core::TStormSystem> tstorm;
+  runtime::Cluster* cluster = nullptr;
+
+  if (spec.tstorm) {
+    tstorm = std::make_unique<core::TStormSystem>(sim, spec.cluster,
+                                                  spec.core);
+    cluster = &tstorm->cluster();
+  } else {
+    storm = std::make_unique<core::StormSystem>(sim, spec.cluster);
+    cluster = &storm->cluster();
+  }
+
+  auto topology = spec.make_topology(sim, keepalive);
+  if (spec.pin.has_value()) {
+    if (spec.tstorm) {
+      tstorm->submit_pinned(std::move(topology), *spec.pin);
+    } else {
+      storm->submit_pinned(std::move(topology), *spec.pin);
+    }
+  } else {
+    if (spec.tstorm) {
+      tstorm->submit(std::move(topology));
+    } else {
+      storm->submit(std::move(topology));
+    }
+  }
+  if (spec.after_submit) spec.after_submit(sim, *cluster);
+
+  // Node-usage sampler (10 s).
+  sim::PeriodicTask sampler(sim, 10.0, [&] {
+    result.nodes.emplace_back(sim.now(), cluster->nodes_in_use());
+  });
+  sampler.start(10.0);
+
+  // Operational-cost metering (the consolidation motivation).
+  core::EnergyMeter energy(*cluster);
+  energy.start();
+
+  sim.run_until(spec.duration);
+  result.node_seconds = energy.node_seconds();
+  result.kwh = energy.kwh();
+
+  const auto& rec = cluster->completion();
+  result.proc_ms = rec.proc_time_ms();
+  result.failures = rec.failures();
+  result.p50_ms = rec.latency_histogram().percentile(50);
+  result.p99_ms = rec.latency_histogram().percentile(99);
+  result.completed = rec.total_completed();
+  result.failed = rec.total_failed();
+  result.dropped = cluster->dropped_messages();
+  result.replayed = rec.total_replayed();
+
+  // Optional CSV artifact per run: set TSTORM_BENCH_CSV to a directory.
+  if (const char* dir = std::getenv("TSTORM_BENCH_CSV"); dir != nullptr) {
+    std::string name = spec.label;
+    for (auto& ch : name) {
+      if (ch == ' ' || ch == '/' || ch == '=') ch = '_';
+    }
+    std::ofstream csv(std::string(dir) + "/" + name + ".csv");
+    if (csv) {
+      metrics::write_series_csv(csv, {{"avg_proc_ms", &result.proc_ms}},
+                                spec.duration);
+    }
+  }
+  return result;
+}
+
+double speedup_pct(double a_ms, double b_ms) {
+  if (!(a_ms > 0) || std::isnan(b_ms)) return std::nan("");
+  return 100.0 * (1.0 - b_ms / a_ms);
+}
+
+void print_comparison(const std::string& title,
+                      const std::vector<RunResult>& runs,
+                      double stabilized_from, double duration) {
+  std::cout << "\n== " << title << " ==\n";
+  std::cout << "Avg. tuple processing time (ms) per 1-minute window:\n";
+  std::vector<metrics::SeriesColumn> cols;
+  cols.reserve(runs.size());
+  for (const auto& r : runs) cols.push_back({r.label, &r.proc_ms});
+  metrics::print_series_table(std::cout, cols, duration);
+
+  std::cout << "\nSummary (measurements after " << stabilized_from
+            << " s):\n";
+  const double base =
+      runs.empty() ? std::nan("")
+                   : runs.front().mean_ms(stabilized_from, duration);
+  for (const auto& r : runs) {
+    const double mean = r.mean_ms(stabilized_from, duration);
+    std::cout << "  " << std::setw(24) << std::left << r.label
+              << std::right << "avg " << std::setw(10)
+              << metrics::format_ms(mean) << " ms"
+              << "   nodes " << std::setw(2) << r.final_nodes()
+              << "   energy " << std::setw(6)
+              << metrics::format_ms(r.kwh, 2) << " kWh"
+              << "   p99 " << std::setw(9)
+              << metrics::format_ms(r.p99_ms) << " ms"
+              << "   completed " << std::setw(9) << r.completed
+              << "   failed " << std::setw(6) << r.failed;
+    if (&r != &runs.front()) {
+      std::cout << "   speedup vs " << runs.front().label << " "
+                << metrics::format_ms(speedup_pct(base, mean), 1) << "%";
+    }
+    std::cout << "\n";
+  }
+}
+
+void print_failures(const RunResult& r, double duration) {
+  std::cout << "\nFailed tuples per 1-minute window (" << r.label << "):\n";
+  std::cout << std::setw(10) << "time(s)" << std::setw(16) << "failed"
+            << '\n';
+  for (const auto& w : r.failures.windows()) {
+    if (w.start + 60.0 > duration + 1e-9) break;
+    std::cout << std::setw(10) << static_cast<long long>(w.start + 60.0)
+              << std::setw(16) << w.count << '\n';
+  }
+}
+
+void print_node_timeline(const RunResult& r) {
+  std::cout << "\nWorker nodes in use over time (" << r.label << "):\n  ";
+  int last = -1;
+  bool first = true;
+  for (const auto& [t, n] : r.nodes) {
+    if (n != last) {
+      if (!first) std::cout << ", ";
+      std::cout << "t=" << static_cast<long long>(t) << "s #Nodes=" << n;
+      last = n;
+      first = false;
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace tstorm::bench

@@ -1,0 +1,94 @@
+// Shared bench harness: runs one (system, topology, parameters) experiment
+// for the paper's standard 1000 s (Table II), sampling average processing
+// time in 1-minute windows and worker-node usage every 10 s, and prints the
+// same series the paper's figures plot.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "metrics/completion.h"
+#include "metrics/timeseries.h"
+#include "runtime/config.h"
+#include "sched/types.h"
+#include "sim/simulation.h"
+#include "topo/topology.h"
+
+namespace tstorm::bench {
+
+struct RunSpec {
+  std::string label;
+
+  /// false: stock Storm (default scheduler). true: full T-Storm stack.
+  bool tstorm = false;
+
+  double duration = 1000.0;  // Table II running time
+  runtime::ClusterConfig cluster;
+  core::CoreConfig core;  // used when tstorm == true
+
+  /// Pin the initial placement (section III experiments, overload
+  /// experiments that confine a topology to one worker).
+  std::optional<sched::Placement> pin;
+
+  /// Builds the topology; drivers (queue producers etc.) whose lifetime
+  /// must span the run go into `keepalive`.
+  std::function<topo::Topology(sim::Simulation& sim,
+                               std::vector<std::shared_ptr<void>>& keepalive)>
+      make_topology;
+
+  /// Optional hook invoked after submission (e.g. schedule a second input
+  /// stream at a given time).
+  std::function<void(sim::Simulation& sim, runtime::Cluster& cluster)>
+      after_submit;
+};
+
+struct RunResult {
+  std::string label;
+  metrics::WindowedSeries proc_ms{60.0};
+  metrics::WindowedCounter failures{60.0};
+  /// (time, nodes-in-use) sampled every 10 s.
+  std::vector<std::pair<double, int>> nodes;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t replayed = 0;
+  /// Operational-cost metrics (EnergyMeter): node-on seconds and energy.
+  double node_seconds = 0;
+  double kwh = 0;
+  /// Latency percentiles over the whole run (ms).
+  double p50_ms = 0;
+  double p99_ms = 0;
+
+  /// Mean processing time over [from, to) ms; NaN if no observations.
+  [[nodiscard]] double mean_ms(double from, double to) const;
+
+  /// Node count at the end of the run.
+  [[nodiscard]] int final_nodes() const;
+
+  /// Maximum node count observed (overload-handling scale-out).
+  [[nodiscard]] int max_nodes() const;
+};
+
+/// Executes one experiment run.
+RunResult run(const RunSpec& spec);
+
+/// Prints the per-minute proc-time table for several runs side by side,
+/// then a node-usage summary and stabilized means.
+void print_comparison(const std::string& title,
+                      const std::vector<RunResult>& runs,
+                      double stabilized_from, double duration);
+
+/// Prints one run's failure counts per minute (Fig. 3(b) style).
+void print_failures(const RunResult& r, double duration);
+
+/// Prints the node-usage timeline of a run (the "#Nodes=..." annotations).
+void print_node_timeline(const RunResult& r);
+
+/// Speedup of b over a in percent (positive = b faster).
+double speedup_pct(double a_ms, double b_ms);
+
+}  // namespace tstorm::bench

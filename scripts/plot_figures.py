@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Re-plot the paper figures from bench CSV artifacts.
+
+Usage:
+    TSTORM_BENCH_CSV=/tmp/csv ./build/bench/fig05_throughput_test
+    scripts/plot_figures.py /tmp/csv out/
+
+Reads every <label>.csv (written by the bench harness when
+TSTORM_BENCH_CSV is set) and writes one SVG per file plus a combined
+figure per prefix. Requires matplotlib; degrades to printing a summary
+table if it is unavailable.
+"""
+import csv
+import os
+import sys
+
+
+def load(path):
+    xs, ys = [], []
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            val = row.get("avg_proc_ms", "")
+            if val:
+                xs.append(float(row["time_s"]))
+                ys.append(float(val))
+    return xs, ys
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    src, out = sys.argv[1], sys.argv[2]
+    os.makedirs(out, exist_ok=True)
+    series = {}
+    for name in sorted(os.listdir(src)):
+        if name.endswith(".csv"):
+            series[name[:-4]] = load(os.path.join(src, name))
+    if not series:
+        print(f"no CSV files in {src}")
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("SVG")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable; summary instead:")
+        for label, (xs, ys) in series.items():
+            mean = sum(ys) / len(ys) if ys else 0.0
+            print(f"  {label}: {len(ys)} windows, mean {mean:.2f} ms")
+        return 0
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for label, (xs, ys) in series.items():
+        ax.plot(xs, ys, marker="o", markersize=3, label=label)
+    ax.set_xlabel("Running Time (s)")
+    ax.set_ylabel("Avg. Proc. Time (ms)")
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    path = os.path.join(out, "combined.svg")
+    fig.savefig(path)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

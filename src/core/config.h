@@ -1,0 +1,90 @@
+// T-Storm control-plane configuration. Defaults are the paper's common
+// experimental settings (Table II): alpha = 0.5, 20 s load monitoring,
+// 10 s schedule fetching, 300 s schedule generation, plus the section IV-C
+// knobs (consolidation factor gamma, capacity fraction, overload
+// detection). Every value can be adjusted on the fly.
+#pragma once
+
+#include <string>
+
+namespace tstorm::core {
+
+struct CoreConfig {
+  /// EWMA estimation coefficient (Table II).
+  double alpha = 0.5;
+
+  /// Load monitoring and estimation period, seconds (Table II).
+  double monitor_period = 20.0;
+
+  /// Custom-scheduler fetch period, seconds (Table II).
+  double fetch_period = 10.0;
+
+  /// Schedule generation period, seconds (Table II).
+  double generation_period = 300.0;
+
+  /// Consolidation factor gamma (section IV-C): 1 spreads executors almost
+  /// evenly; larger values pack onto fewer worker nodes.
+  double gamma = 1.0;
+
+  /// Scheduler-visible capacity as a fraction of physical capacity
+  /// ("C_k can be set to a fraction of its actual capacity to prevent
+  /// overloading", section IV-C).
+  double capacity_fraction = 0.85;
+
+  /// A node whose estimated workload exceeds this fraction of its actual
+  /// capacity is considered overloaded. Context switching on a crowded
+  /// node wastes a slice of the physical capacity, so sustained consumption
+  /// above ~75% of nominal already means the node runs flat out; the generator reacts immediately
+  /// instead of waiting for the 300 s period (Figs. 9/10).
+  double overload_threshold = 0.70;
+  bool enable_overload_trigger = true;
+
+  /// Second overload condition: the node's deepest executor input queue
+  /// (EWMA) must also exceed this depth. CPU load alone cannot tell a
+  /// deliberately packed node (capacity_fraction allows up to 85 %) from a
+  /// saturated one — queues only grow when executors fall behind, so
+  /// requiring both signals prevents pack-then-reassign thrashing.
+  double overload_queue_depth = 100.0;
+
+  /// The node must stay overloaded for this many consecutive monitor
+  /// periods before the generator reacts — transient spikes (a GC pause, a
+  /// reassignment) should not trigger a cluster-wide reshuffle. With the
+  /// 20 s monitor period this puts detection around one minute after
+  /// saturation, matching the paper's observed detection delays.
+  int overload_consecutive_checks = 3;
+
+  /// Minimum spacing between overload-triggered generations, seconds.
+  double overload_min_interval = 60.0;
+
+  /// Overload triggers are suppressed for this long after any published
+  /// schedule: a reassignment halts spouts and migrates queues, which
+  /// looks exactly like overload to the monitors until the backlog drains
+  /// and the EWMAs flush. Without the settling window a consolidation
+  /// reassignment can re-trigger itself indefinitely.
+  double post_reassignment_settle = 150.0;
+
+  /// A new schedule is published only if it reduces estimated inter-node
+  /// traffic by at least this fraction (hysteresis against thrashing) —
+  /// overload-triggered generations bypass this check.
+  double min_improvement = 0.05;
+
+  /// ... or if it frees at least this many worker nodes without increasing
+  /// inter-node traffic by more than consolidation_traffic_tolerance
+  /// (worker-node consolidation is a first-class goal: idle nodes can be
+  /// shut down to cut operational cost, sections I/III).
+  int consolidation_min_nodes_freed = 2;
+  double consolidation_traffic_tolerance = 0.10;
+
+  /// Initial scheduling algorithm (registry name).
+  std::string algorithm = "traffic-aware";
+
+  /// Estimation method for loads/traffic: "ewma" (the paper's, using
+  /// `alpha`), "sliding-window" (mean of `sliding_window` samples), or
+  /// "holt" (double exponential smoothing with `alpha` and `holt_beta`,
+  /// predicting one monitor period ahead).
+  std::string estimator = "ewma";
+  std::size_t sliding_window = 5;
+  double holt_beta = 0.3;
+};
+
+}  // namespace tstorm::core

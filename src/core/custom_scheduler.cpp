@@ -1,0 +1,32 @@
+#include "core/custom_scheduler.h"
+
+namespace tstorm::core {
+
+CustomScheduler::CustomScheduler(runtime::Cluster& cluster, MetricsDb& db,
+                                 double fetch_period)
+    : cluster_(cluster), db_(db) {
+  fetch_task_ = std::make_unique<sim::PeriodicTask>(
+      cluster_.sim(), fetch_period, [this] { fetch_and_apply(); });
+}
+
+void CustomScheduler::start() { fetch_task_->start(fetch_task_->period()); }
+
+void CustomScheduler::stop() { fetch_task_->stop(); }
+
+bool CustomScheduler::fetch_and_apply() {
+  const auto version = db_.published_version();
+  if (version <= applied_version_) return false;
+  applied_version_ = version;
+
+  // Split the global schedule per topology and apply atomically.
+  std::map<sched::TopologyId, sched::Placement> per_topo;
+  for (const auto& [task, slot] : db_.published_schedule()) {
+    per_topo[cluster_.task_info(task).topology].emplace(task, slot);
+  }
+  if (per_topo.empty()) return false;
+  const bool ok = cluster_.nimbus().apply_placements(per_topo, version);
+  if (ok) ++applications_;
+  return ok;
+}
+
+}  // namespace tstorm::core

@@ -1,0 +1,49 @@
+// CustomScheduler: the thin component plugged into Nimbus (as Storm's
+// pluggable IScheduler). Every fetch period (10 s, shorter than the 300 s
+// generation period so overload recovery is timely) it fetches the current
+// schedule from the database and applies it to Nimbus *without computing
+// anything itself* — the separation that enables hot-swapping (section
+// IV-C).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/metrics_db.h"
+#include "runtime/cluster.h"
+#include "sim/simulation.h"
+
+namespace tstorm::core {
+
+class CustomScheduler {
+ public:
+  CustomScheduler(runtime::Cluster& cluster, MetricsDb& db,
+                  double fetch_period);
+  // Non-copyable and non-movable: the periodic task's callback captures
+  // `this`.
+  CustomScheduler(const CustomScheduler&) = delete;
+  CustomScheduler& operator=(const CustomScheduler&) = delete;
+
+
+  void start();
+  void stop();
+
+  /// One fetch-and-apply pass. Returns true if a new assignment was
+  /// applied to Nimbus.
+  bool fetch_and_apply();
+
+  [[nodiscard]] sched::AssignmentVersion applied_version() const {
+    return applied_version_;
+  }
+  [[nodiscard]] std::uint64_t applications() const { return applications_; }
+
+ private:
+  runtime::Cluster& cluster_;
+  MetricsDb& db_;
+  std::unique_ptr<sim::PeriodicTask> fetch_task_;
+  sched::AssignmentVersion applied_version_ = 0;
+  std::uint64_t applications_ = 0;
+};
+
+}  // namespace tstorm::core

@@ -1,0 +1,39 @@
+#include "core/energy_meter.h"
+
+#include <algorithm>
+
+namespace tstorm::core {
+
+EnergyMeter::EnergyMeter(runtime::Cluster& cluster, EnergyModelConfig config)
+    : cluster_(cluster), config_(config) {
+  task_ = std::make_unique<sim::PeriodicTask>(cluster_.sim(), config_.period,
+                                              [this] { sample(); });
+}
+
+void EnergyMeter::start(sim::Time phase) {
+  task_->start(phase > 0 ? phase : config_.period);
+}
+
+void EnergyMeter::stop() { task_->stop(); }
+
+void EnergyMeter::sample() {
+  const double dt = config_.period;
+  metered_time_ += dt;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    auto& node = cluster_.node(n);
+    if (!node.available()) continue;
+    if (cluster_.executors_on_node(n).empty()) continue;  // powered down
+    node_seconds_ += dt;
+    const double utilization =
+        std::min(1.0, static_cast<double>(node.busy_threads()) /
+                          static_cast<double>(node.cores()));
+    joules_ += (config_.idle_watts + config_.dynamic_watts * utilization) *
+               dt;
+  }
+}
+
+double EnergyMeter::mean_nodes_on() const {
+  return metered_time_ > 0 ? node_seconds_ / metered_time_ : 0.0;
+}
+
+}  // namespace tstorm::core

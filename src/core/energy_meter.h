@@ -1,0 +1,62 @@
+// EnergyMeter: quantifies the operational-cost motivation behind worker
+// node consolidation (paper sections I and III: "consolidating worker
+// nodes and shutting down idle ones can significantly reduce operational
+// costs [such as electricity cost]").
+//
+// A node is "on" while it hosts at least one live executor; idle nodes are
+// assumed powered down. Power draw follows the standard linear server
+// model: idle watts plus dynamic watts scaled by CPU utilization.
+#pragma once
+
+#include <memory>
+
+#include "runtime/cluster.h"
+#include "sim/simulation.h"
+
+namespace tstorm::core {
+
+struct EnergyModelConfig {
+  /// Power of a powered-on but idle blade (W).
+  double idle_watts = 120.0;
+  /// Additional power at 100 % CPU utilization (W).
+  double dynamic_watts = 80.0;
+  /// Sampling period (seconds).
+  double period = 5.0;
+};
+
+class EnergyMeter {
+ public:
+  EnergyMeter(runtime::Cluster& cluster, EnergyModelConfig config = {});
+  // Non-copyable and non-movable: the periodic task's callback captures
+  // `this`.
+  EnergyMeter(const EnergyMeter&) = delete;
+  EnergyMeter& operator=(const EnergyMeter&) = delete;
+
+
+  void start(sim::Time phase = 0.0);
+  void stop();
+
+  /// Accumulated node-on time (node-seconds): 10 nodes for 100 s = 1000.
+  [[nodiscard]] double node_seconds() const { return node_seconds_; }
+
+  /// Accumulated energy in joules under the linear power model.
+  [[nodiscard]] double joules() const { return joules_; }
+
+  /// Convenience: kWh.
+  [[nodiscard]] double kwh() const { return joules_ / 3.6e6; }
+
+  /// Average number of powered-on nodes over the metering interval.
+  [[nodiscard]] double mean_nodes_on() const;
+
+ private:
+  void sample();
+
+  runtime::Cluster& cluster_;
+  EnergyModelConfig config_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+  double node_seconds_ = 0;
+  double joules_ = 0;
+  double metered_time_ = 0;
+};
+
+}  // namespace tstorm::core

@@ -1,0 +1,57 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+
+namespace tstorm::core {
+
+SlidingWindowEstimator::SlidingWindowEstimator(std::size_t window)
+    : window_(std::max<std::size_t>(1, window)) {}
+
+double SlidingWindowEstimator::update(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  if (samples_.size() > window_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+  return value();
+}
+
+double SlidingWindowEstimator::value() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double HoltTrendEstimator::update(double sample) {
+  if (!seeded_) {
+    level_ = sample;
+    trend_ = 0;
+    seeded_ = true;
+    return value();
+  }
+  const double prev_level = level_;
+  // Note the paper's alpha convention: alpha weights the OLD value.
+  level_ = alpha_ * (prev_level + trend_) + (1.0 - alpha_) * sample;
+  trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  return value();
+}
+
+double HoltTrendEstimator::value() const {
+  return std::max(0.0, level_ + trend_);
+}
+
+EstimatorFactory make_ewma_factory(double alpha) {
+  return [alpha] { return std::make_unique<EwmaEstimator>(alpha); };
+}
+
+EstimatorFactory make_sliding_window_factory(std::size_t window) {
+  return [window] { return std::make_unique<SlidingWindowEstimator>(window); };
+}
+
+EstimatorFactory make_holt_factory(double alpha, double beta) {
+  return [alpha, beta] {
+    return std::make_unique<HoltTrendEstimator>(alpha, beta);
+  };
+}
+
+}  // namespace tstorm::core

@@ -1,0 +1,85 @@
+// Pluggable load/traffic estimators. The paper uses EWMA (section IV-B)
+// and explicitly notes that "other machine learning based (usually more
+// complicated) estimation/prediction methods can be easily integrated" —
+// this interface is that integration point. The MetricsDb instantiates one
+// estimator per measured quantity via a factory, so swapping the cluster's
+// estimation method is one constructor argument.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "metrics/ewma.h"
+
+namespace tstorm::core {
+
+class IEstimator {
+ public:
+  virtual ~IEstimator() = default;
+
+  /// Feeds one sample; returns the updated estimate.
+  virtual double update(double sample) = 0;
+
+  /// Current estimate (what the scheduler sees).
+  [[nodiscard]] virtual double value() const = 0;
+};
+
+using EstimatorFactory = std::function<std::unique_ptr<IEstimator>()>;
+
+/// The paper's estimator: Y = alpha*Y + (1-alpha)*S.
+class EwmaEstimator final : public IEstimator {
+ public:
+  explicit EwmaEstimator(double alpha = 0.5) : ewma_(alpha) {}
+
+  double update(double sample) override { return ewma_.update(sample); }
+  [[nodiscard]] double value() const override { return ewma_.value(); }
+
+  [[nodiscard]] double alpha() const { return ewma_.alpha(); }
+  void set_alpha(double alpha) { ewma_.set_alpha(alpha); }
+
+ private:
+  metrics::Ewma ewma_;
+};
+
+/// Mean over the last `window` samples: less smooth than EWMA but with a
+/// hard memory horizon (old workload regimes drop out completely).
+class SlidingWindowEstimator final : public IEstimator {
+ public:
+  explicit SlidingWindowEstimator(std::size_t window = 5);
+
+  double update(double sample) override;
+  [[nodiscard]] double value() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+  double sum_ = 0;
+};
+
+/// Holt double exponential smoothing: tracks level and trend and predicts
+/// one sampling period ahead — anticipates ramping load instead of
+/// trailing it (useful for earlier overload detection).
+class HoltTrendEstimator final : public IEstimator {
+ public:
+  HoltTrendEstimator(double alpha = 0.5, double beta = 0.3)
+      : alpha_(alpha), beta_(beta) {}
+
+  double update(double sample) override;
+  /// One-step-ahead forecast: level + trend, floored at zero.
+  [[nodiscard]] double value() const override;
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0;
+  double trend_ = 0;
+  bool seeded_ = false;
+};
+
+/// Factories for the built-in estimators.
+EstimatorFactory make_ewma_factory(double alpha = 0.5);
+EstimatorFactory make_sliding_window_factory(std::size_t window = 5);
+EstimatorFactory make_holt_factory(double alpha = 0.5, double beta = 0.3);
+
+}  // namespace tstorm::core

@@ -1,0 +1,36 @@
+#include "core/load_monitor.h"
+
+namespace tstorm::core {
+
+LoadMonitor::LoadMonitor(runtime::Cluster& cluster, MetricsDb& db,
+                         sched::NodeId node, double period)
+    : cluster_(cluster), db_(db), node_(node), period_(period) {
+  task_ = std::make_unique<sim::PeriodicTask>(cluster_.sim(), period,
+                                              [this] { sample(); });
+}
+
+void LoadMonitor::start(sim::Time phase) { task_->start(phase); }
+
+void LoadMonitor::stop() { task_->stop(); }
+
+void LoadMonitor::sample() {
+  period_ = task_->period();
+  double node_mhz = 0;
+  double max_queue = 0;
+  for (runtime::Executor* ex : cluster_.executors_on_node(node_)) {
+    // Mega-cycles consumed over the window / window seconds == MHz.
+    const double mhz = ex->take_mega_cycles() / period_;
+    node_mhz += mhz;
+    max_queue = std::max(max_queue, static_cast<double>(ex->queue_depth()));
+    db_.update_executor_load(ex->task(), mhz);
+    for (const auto& [dst, count] : ex->take_sent()) {
+      db_.update_traffic(ex->task(), dst,
+                         static_cast<double>(count) / period_);
+    }
+  }
+  last_node_mhz_ = node_mhz;
+  db_.update_node_load(node_, node_mhz);
+  db_.update_node_queue(node_, max_queue);
+}
+
+}  // namespace tstorm::core

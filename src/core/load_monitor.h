@@ -1,0 +1,51 @@
+// LoadMonitor: the per-node daemon of section IV-B. Every monitor period
+// (20 s) it samples, for each executor thread resident on its node:
+//   1) executor workload — CPU consumed during the window, in MHz (the
+//      JMX getThreadCpuTime equivalent: the simulator's cycle accounting);
+//   2) inter-executor traffic — envelopes sent per destination task; and
+//   3) node workload — the sum of its executors' CPU usage;
+// then EWMA-updates the MetricsDb.
+#pragma once
+
+#include <memory>
+
+#include "core/metrics_db.h"
+#include "runtime/cluster.h"
+#include "sim/simulation.h"
+
+namespace tstorm::core {
+
+class LoadMonitor {
+ public:
+  LoadMonitor(runtime::Cluster& cluster, MetricsDb& db, sched::NodeId node,
+              double period);
+  // Non-copyable and non-movable: the periodic task's callback captures
+  // `this`.
+  LoadMonitor(const LoadMonitor&) = delete;
+  LoadMonitor& operator=(const LoadMonitor&) = delete;
+
+
+  /// Starts periodic sampling; `phase` staggers the per-node daemons.
+  void start(sim::Time phase);
+  void stop();
+
+  /// One sampling pass (also callable directly from tests).
+  void sample();
+
+  [[nodiscard]] sched::NodeId node() const { return node_; }
+
+  /// Node workload from the most recent sample (instantaneous, pre-EWMA).
+  [[nodiscard]] double last_node_mhz() const { return last_node_mhz_; }
+
+  void set_period(double period) { task_->set_period(period); }
+
+ private:
+  runtime::Cluster& cluster_;
+  MetricsDb& db_;
+  sched::NodeId node_;
+  double period_;
+  double last_node_mhz_ = 0;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+}  // namespace tstorm::core

@@ -1,0 +1,89 @@
+#include "core/metrics_db.h"
+
+namespace tstorm::core {
+
+IEstimator& MetricsDb::estimator(
+    std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>>& map,
+    std::uint64_t key) {
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(key, factory_()).first;
+  }
+  return *it->second;
+}
+
+void MetricsDb::set_alpha(double alpha) {
+  factory_ = make_ewma_factory(alpha);
+  for (auto* map : {&loads_, &node_loads_, &traffic_}) {
+    for (auto& [key, est] : *map) {
+      if (auto* ewma = dynamic_cast<EwmaEstimator*>(est.get());
+          ewma != nullptr) {
+        ewma->set_alpha(alpha);
+      }
+    }
+  }
+}
+
+void MetricsDb::update_executor_load(sched::TaskId task, double mhz_sample) {
+  estimator(loads_, static_cast<std::uint32_t>(task)).update(mhz_sample);
+}
+
+void MetricsDb::update_traffic(sched::TaskId src, sched::TaskId dst,
+                               double rate_sample) {
+  estimator(traffic_, pair_key(src, dst)).update(rate_sample);
+}
+
+void MetricsDb::update_node_load(sched::NodeId node, double mhz_sample) {
+  estimator(node_loads_, static_cast<std::uint32_t>(node))
+      .update(mhz_sample);
+}
+
+double MetricsDb::executor_load(sched::TaskId task) const {
+  auto it = loads_.find(static_cast<std::uint32_t>(task));
+  return it == loads_.end() ? 0.0 : it->second->value();
+}
+
+void MetricsDb::update_node_queue(sched::NodeId node, double depth_sample) {
+  estimator(node_queues_, static_cast<std::uint32_t>(node))
+      .update(depth_sample);
+}
+
+double MetricsDb::node_load(sched::NodeId node) const {
+  auto it = node_loads_.find(static_cast<std::uint32_t>(node));
+  return it == node_loads_.end() ? 0.0 : it->second->value();
+}
+
+double MetricsDb::node_queue(sched::NodeId node) const {
+  auto it = node_queues_.find(static_cast<std::uint32_t>(node));
+  return it == node_queues_.end() ? 0.0 : it->second->value();
+}
+
+std::vector<sched::TrafficEntry> MetricsDb::traffic_snapshot() const {
+  std::vector<sched::TrafficEntry> out;
+  out.reserve(traffic_.size());
+  for (const auto& [key, est] : traffic_) {
+    sched::TrafficEntry e;
+    e.src = static_cast<sched::TaskId>(key >> 32);
+    e.dst = static_cast<sched::TaskId>(key & 0xffffffffu);
+    e.rate = est->value();
+    if (e.rate > 0) out.push_back(e);
+  }
+  return out;
+}
+
+void MetricsDb::forget_task(sched::TaskId task) {
+  loads_.erase(static_cast<std::uint32_t>(task));
+  std::erase_if(traffic_, [task](const auto& kv) {
+    const auto src = static_cast<sched::TaskId>(kv.first >> 32);
+    const auto dst = static_cast<sched::TaskId>(kv.first & 0xffffffffu);
+    return src == task || dst == task;
+  });
+}
+
+void MetricsDb::publish_schedule(sched::Placement placement,
+                                 sched::AssignmentVersion version) {
+  published_ = std::move(placement);
+  published_version_ = version;
+}
+
+}  // namespace tstorm::core

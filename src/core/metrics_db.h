@@ -1,0 +1,88 @@
+// MetricsDb: the database of section IV-A. Load monitors write estimates
+// of executor workload (MHz), inter-executor traffic (tuples/s) and node
+// workload; the schedule generator reads them and publishes the computed
+// schedule; the custom scheduler fetches it. A plain in-memory store in
+// the simulation (the paper used an external DB for deployment
+// flexibility; the data model is the same).
+//
+// Estimation is pluggable (core/estimator.h): the paper's EWMA
+// (Y = alpha*Y + (1-alpha)*sample) is the default; sliding-window and
+// Holt-trend estimators implement the "other estimation/prediction
+// methods" extension the paper calls future work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimator.h"
+#include "sched/types.h"
+
+namespace tstorm::core {
+
+class MetricsDb {
+ public:
+  /// EWMA estimation with the given alpha (the paper's configuration).
+  explicit MetricsDb(double alpha = 0.5)
+      : factory_(make_ewma_factory(alpha)) {}
+
+  /// Custom estimation method for every measured quantity.
+  explicit MetricsDb(EstimatorFactory factory)
+      : factory_(std::move(factory)) {}
+
+  /// Changes the EWMA coefficient of existing and future estimators ("any
+  /// scheduling parameters can be adjusted on the fly"). No-op on
+  /// non-EWMA estimators.
+  void set_alpha(double alpha);
+
+  /// --- Written by load monitors. ---
+  void update_executor_load(sched::TaskId task, double mhz_sample);
+  void update_traffic(sched::TaskId src, sched::TaskId dst,
+                      double rate_sample);
+  void update_node_load(sched::NodeId node, double mhz_sample);
+  /// Deepest executor input queue on the node (overload indicator: CPU
+  /// load alone cannot distinguish a deliberately packed node from a
+  /// saturated one, but queues only grow when executors fall behind).
+  void update_node_queue(sched::NodeId node, double depth_sample);
+
+  /// --- Read by the schedule generator. ---
+  [[nodiscard]] double executor_load(sched::TaskId task) const;
+  [[nodiscard]] double node_load(sched::NodeId node) const;
+  [[nodiscard]] double node_queue(sched::NodeId node) const;
+  [[nodiscard]] std::vector<sched::TrafficEntry> traffic_snapshot() const;
+  [[nodiscard]] bool has_samples() const { return !loads_.empty(); }
+
+  void forget_task(sched::TaskId task);
+
+  /// --- Published schedule (generator -> custom scheduler). ---
+  void publish_schedule(sched::Placement placement,
+                        sched::AssignmentVersion version);
+  [[nodiscard]] sched::AssignmentVersion published_version() const {
+    return published_version_;
+  }
+  [[nodiscard]] const sched::Placement& published_schedule() const {
+    return published_;
+  }
+
+ private:
+  static std::uint64_t pair_key(sched::TaskId src, sched::TaskId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  IEstimator& estimator(
+      std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>>& map,
+      std::uint64_t key);
+
+  EstimatorFactory factory_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> loads_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> node_loads_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> node_queues_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> traffic_;
+  sched::Placement published_;
+  sched::AssignmentVersion published_version_ = 0;
+};
+
+}  // namespace tstorm::core

@@ -1,0 +1,168 @@
+#include "core/schedule_generator.h"
+
+#include <stdexcept>
+
+namespace tstorm::core {
+
+ScheduleGenerator::ScheduleGenerator(runtime::Cluster& cluster, MetricsDb& db,
+                                     CoreConfig config)
+    : cluster_(cluster), db_(db), config_(config) {
+  algorithm_ = sched::AlgorithmRegistry::instance().create(config_.algorithm);
+  if (algorithm_ == nullptr) {
+    throw std::invalid_argument("unknown scheduling algorithm: " +
+                                config_.algorithm);
+  }
+  generate_task_ = std::make_unique<sim::PeriodicTask>(
+      cluster_.sim(), config_.generation_period,
+      [this] { generate_now(false); });
+  overload_task_ = std::make_unique<sim::PeriodicTask>(
+      cluster_.sim(), config_.monitor_period, [this] { overload_check(); });
+}
+
+void ScheduleGenerator::start() {
+  generate_task_->start(config_.generation_period);
+  // Check for overload one tick after each monitor sample lands.
+  overload_task_->start(config_.monitor_period + 1.0);
+}
+
+void ScheduleGenerator::stop() {
+  generate_task_->stop();
+  overload_task_->stop();
+}
+
+void ScheduleGenerator::set_algorithm(
+    std::unique_ptr<sched::ISchedulingAlgorithm> algorithm) {
+  if (algorithm != nullptr) algorithm_ = std::move(algorithm);
+}
+
+bool ScheduleGenerator::set_algorithm(const std::string& name) {
+  auto a = sched::AlgorithmRegistry::instance().create(name);
+  if (a == nullptr) return false;
+  algorithm_ = std::move(a);
+  config_.algorithm = name;
+  return true;
+}
+
+std::string ScheduleGenerator::algorithm_name() const {
+  return algorithm_->name();
+}
+
+sched::SchedulerInput ScheduleGenerator::build_input() const {
+  // All topologies currently assigned are rescheduled together ("Given M
+  // topologies...", section IV-C).
+  std::vector<sched::TopologyId> topos;
+  for (auto id : cluster_.topology_ids()) {
+    if (cluster_.coordination().get(id) != nullptr) topos.push_back(id);
+  }
+  auto input = cluster_.scheduler_input(topos);
+  for (auto& e : input.executors) e.load_mhz = db_.executor_load(e.task);
+  input.traffic = db_.traffic_snapshot();
+  for (auto& c : input.node_capacity_mhz) c *= config_.capacity_fraction;
+  input.gamma = config_.gamma;
+  return input;
+}
+
+bool ScheduleGenerator::generate_now(bool overload_triggered) {
+  ++generations_;
+  auto input = build_input();
+  if (input.executors.empty()) return false;
+
+  auto result = algorithm_->schedule(input);
+  for (const auto& e : input.executors) {
+    if (!result.assignment.contains(e.task)) return false;  // incomplete
+  }
+
+  // Current placement (union over topologies) for comparison.
+  sched::Placement current;
+  for (const auto& [topo, record] : cluster_.coordination().all()) {
+    for (const auto& [task, slot] : record.placement) {
+      current.emplace(task, slot);
+    }
+  }
+  if (result.assignment == current) return false;  // nothing to do
+
+  if (!overload_triggered && !current.empty()) {
+    const double cur_traffic = sched::internode_traffic(input, current);
+    const double new_traffic =
+        sched::internode_traffic(input, result.assignment);
+    const bool traffic_win =
+        new_traffic < cur_traffic * (1.0 - config_.min_improvement);
+    const int freed = sched::nodes_used(input, current) -
+                      sched::nodes_used(input, result.assignment);
+    const bool consolidation_win =
+        freed >= config_.consolidation_min_nodes_freed &&
+        new_traffic <=
+            cur_traffic * (1.0 + config_.consolidation_traffic_tolerance);
+    if (!traffic_win && !consolidation_win) {
+      return false;  // reassignment cost not justified
+    }
+  }
+
+  const auto version = cluster_.nimbus().next_version();
+  cluster_.trace_log().record(
+      {cluster_.sim().now(), trace::EventKind::kSchedulePublished, -1, -1,
+       -1, version,
+       algorithm_->name() + ", " +
+           std::to_string(sched::nodes_used(input, result.assignment)) +
+           " nodes" + (overload_triggered ? ", overload" : "")});
+  db_.publish_schedule(result.assignment, version);
+  ++publishes_;
+  last_publish_time_ = cluster_.sim().now();
+  overload_streak_ = 0;
+  return true;
+}
+
+void ScheduleGenerator::overload_check() {
+  if (!config_.enable_overload_trigger) return;
+
+  // Node failure: any assignment pointing at a dead node must be repaired
+  // immediately — no streak requirement, the signal is unambiguous.
+  bool dead_assignment = false;
+  for (const auto& [topo, record] : cluster_.coordination().all()) {
+    for (const auto& [task, slot] : record.placement) {
+      if (!cluster_.node_available(cluster_.slot_node(slot))) {
+        dead_assignment = true;
+        break;
+      }
+    }
+    if (dead_assignment) break;
+  }
+  if (dead_assignment) {
+    generate_now(/*overload_triggered=*/true);
+    return;
+  }
+
+  if (!db_.has_samples()) return;
+  // Let the system settle after a reassignment before trusting the
+  // overload signals again.
+  if (cluster_.sim().now() - last_publish_time_ <
+      config_.post_reassignment_settle) {
+    overload_streak_ = 0;
+    return;
+  }
+  bool overloaded = false;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    const double cap = cluster_.node(n).capacity_mhz();
+    if (db_.node_load(n) > config_.overload_threshold * cap &&
+        db_.node_queue(n) > config_.overload_queue_depth) {
+      overloaded = true;
+      break;
+    }
+  }
+  if (!overloaded) {
+    overload_streak_ = 0;
+    return;
+  }
+  if (++overload_streak_ < config_.overload_consecutive_checks) return;
+  const sim::Time now = cluster_.sim().now();
+  if (now - last_overload_generation_ < config_.overload_min_interval) {
+    return;
+  }
+  last_overload_generation_ = now;
+  ++overload_triggers_;
+  cluster_.trace_log().record(
+      {now, trace::EventKind::kOverloadTriggered, -1, -1, -1, 0, {}});
+  generate_now(/*overload_triggered=*/true);
+}
+
+}  // namespace tstorm::core

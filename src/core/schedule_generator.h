@@ -1,0 +1,82 @@
+// ScheduleGenerator: the component at the heart of T-Storm's architecture
+// (Fig. 4 / section IV-C). Independent of Nimbus, it periodically (300 s)
+// reads the estimated load information from the MetricsDb, runs the
+// current scheduling algorithm over *all* assigned topologies, and
+// publishes the resulting executor-to-slot schedule back to the database
+// for the custom scheduler to fetch.
+//
+// Because it is decoupled from Storm's scheduler it supports:
+//   - hot-swapping the algorithm at runtime (set_algorithm), and
+//   - adjusting parameters like gamma on the fly (set_gamma);
+// and because it watches the monitors' node-load estimates, it detects
+// overloaded worker nodes and regenerates immediately instead of waiting
+// out the period (the recovery behaviour of Figs. 9 and 10).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "core/metrics_db.h"
+#include "runtime/cluster.h"
+#include "sched/scheduler.h"
+#include "sim/simulation.h"
+
+namespace tstorm::core {
+
+class ScheduleGenerator {
+ public:
+  ScheduleGenerator(runtime::Cluster& cluster, MetricsDb& db,
+                    CoreConfig config);
+  // Non-copyable and non-movable: the periodic task's callback captures
+  // `this`.
+  ScheduleGenerator(const ScheduleGenerator&) = delete;
+  ScheduleGenerator& operator=(const ScheduleGenerator&) = delete;
+
+
+  /// Starts the periodic generation loop and the overload watchdog.
+  void start();
+  void stop();
+
+  /// Runs one generation pass immediately. `overload_triggered` bypasses
+  /// the min-improvement hysteresis. Returns true if a new schedule was
+  /// published.
+  bool generate_now(bool overload_triggered = false);
+
+  /// --- Hot-swap / on-the-fly tuning. ---
+  void set_algorithm(std::unique_ptr<sched::ISchedulingAlgorithm> algorithm);
+  /// Registry lookup; returns false for unknown names.
+  bool set_algorithm(const std::string& name);
+  [[nodiscard]] std::string algorithm_name() const;
+
+  void set_gamma(double gamma) { config_.gamma = gamma; }
+  [[nodiscard]] double gamma() const { return config_.gamma; }
+  [[nodiscard]] CoreConfig& config() { return config_; }
+
+  /// --- Stats. ---
+  [[nodiscard]] std::uint64_t generations() const { return generations_; }
+  [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
+  [[nodiscard]] std::uint64_t overload_triggers() const {
+    return overload_triggers_;
+  }
+
+ private:
+  void overload_check();
+  [[nodiscard]] sched::SchedulerInput build_input() const;
+
+  runtime::Cluster& cluster_;
+  MetricsDb& db_;
+  CoreConfig config_;
+  std::unique_ptr<sched::ISchedulingAlgorithm> algorithm_;
+  std::unique_ptr<sim::PeriodicTask> generate_task_;
+  std::unique_ptr<sim::PeriodicTask> overload_task_;
+  sim::Time last_overload_generation_ = -1e18;
+  sim::Time last_publish_time_ = -1e18;
+  int overload_streak_ = 0;
+  std::uint64_t generations_ = 0;
+  std::uint64_t publishes_ = 0;
+  std::uint64_t overload_triggers_ = 0;
+};
+
+}  // namespace tstorm::core

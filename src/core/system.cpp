@@ -1,0 +1,77 @@
+#include "core/system.h"
+
+#include <stdexcept>
+
+namespace tstorm::core {
+
+EstimatorFactory make_estimator_factory(const CoreConfig& core) {
+  if (core.estimator == "ewma") return make_ewma_factory(core.alpha);
+  if (core.estimator == "sliding-window") {
+    return make_sliding_window_factory(core.sliding_window);
+  }
+  if (core.estimator == "holt") {
+    return make_holt_factory(core.alpha, core.holt_beta);
+  }
+  throw std::invalid_argument("unknown estimator: " + core.estimator);
+}
+
+namespace {
+
+runtime::ClusterConfig storm_mode(runtime::ClusterConfig config) {
+  config.smooth_reassignment = false;
+  return config;
+}
+
+runtime::ClusterConfig tstorm_mode(runtime::ClusterConfig config) {
+  config.smooth_reassignment = true;
+  return config;
+}
+
+}  // namespace
+
+StormSystem::StormSystem(sim::Simulation& sim, runtime::ClusterConfig config)
+    : cluster_(sim, storm_mode(config)) {}
+
+sched::TopologyId StormSystem::submit(topo::Topology topology) {
+  return cluster_.submit(std::move(topology), &round_robin_);
+}
+
+sched::TopologyId StormSystem::submit_pinned(topo::Topology topology,
+                                             sched::Placement placement) {
+  sched::ManualScheduler manual(std::move(placement));
+  return cluster_.submit(std::move(topology), &manual);
+}
+
+TStormSystem::TStormSystem(sim::Simulation& sim,
+                           runtime::ClusterConfig config, CoreConfig core)
+    : cluster_(sim, tstorm_mode(config)), db_(make_estimator_factory(core)) {
+  const int nodes = cluster_.config().num_nodes;
+  monitors_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    monitors_.push_back(std::make_unique<LoadMonitor>(
+        cluster_, db_, n, core.monitor_period));
+    // Stagger the daemons across one period, as real per-node daemons
+    // drift; node n's first sample lands at period * (n+1)/(nodes+1).
+    const double phase = core.monitor_period *
+                         (static_cast<double>(n) + 1.0) /
+                         (static_cast<double>(nodes) + 1.0);
+    monitors_.back()->start(phase);
+  }
+  generator_ = std::make_unique<ScheduleGenerator>(cluster_, db_, core);
+  generator_->start();
+  custom_scheduler_ =
+      std::make_unique<CustomScheduler>(cluster_, db_, core.fetch_period);
+  custom_scheduler_->start();
+}
+
+sched::TopologyId TStormSystem::submit(topo::Topology topology) {
+  return cluster_.submit(std::move(topology), &initial_);
+}
+
+sched::TopologyId TStormSystem::submit_pinned(topo::Topology topology,
+                                              sched::Placement placement) {
+  sched::ManualScheduler manual(std::move(placement));
+  return cluster_.submit(std::move(topology), &manual);
+}
+
+}  // namespace tstorm::core

@@ -1,0 +1,83 @@
+// Convenience wrappers wiring a full system:
+//
+//   StormSystem  — stock Storm: default round-robin scheduler, immediate
+//                  worker kills on reassignment, no monitoring/generation.
+//   TStormSystem — the paper's system: load monitors on every node, the
+//                  metrics database, the schedule generator (Algorithm 1 by
+//                  default, hot-swappable), the custom scheduler, T-Storm's
+//                  modified initial assignment, and smooth reassignment.
+//
+// Benches and examples construct one of these, submit topologies, and run
+// the simulation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/custom_scheduler.h"
+#include "core/load_monitor.h"
+#include "core/metrics_db.h"
+#include "core/schedule_generator.h"
+#include "runtime/cluster.h"
+#include "sched/manual.h"
+#include "sched/round_robin.h"
+
+namespace tstorm::core {
+
+class StormSystem {
+ public:
+  explicit StormSystem(sim::Simulation& sim,
+                       runtime::ClusterConfig config = {});
+
+  [[nodiscard]] runtime::Cluster& cluster() { return cluster_; }
+
+  /// Submits with Storm's default scheduler.
+  sched::TopologyId submit(topo::Topology topology);
+
+  /// Submits with a pinned placement (Section III experiments).
+  sched::TopologyId submit_pinned(topo::Topology topology,
+                                  sched::Placement placement);
+
+ private:
+  runtime::Cluster cluster_;
+  sched::RoundRobinScheduler round_robin_;
+};
+
+/// Builds the estimator factory selected by `core.estimator`. Throws
+/// std::invalid_argument for unknown names.
+EstimatorFactory make_estimator_factory(const CoreConfig& core);
+
+class TStormSystem {
+ public:
+  TStormSystem(sim::Simulation& sim, runtime::ClusterConfig config = {},
+               CoreConfig core = {});
+
+  [[nodiscard]] runtime::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] MetricsDb& db() { return db_; }
+  [[nodiscard]] ScheduleGenerator& generator() { return *generator_; }
+  [[nodiscard]] CustomScheduler& scheduler() { return *custom_scheduler_; }
+  [[nodiscard]] LoadMonitor& monitor(sched::NodeId node) {
+    return *monitors_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Submits with T-Storm's modified initial scheduler
+  /// (N*w = min(Nu, Nw), one worker per node).
+  sched::TopologyId submit(topo::Topology topology);
+
+  /// Submits pinned to an explicit placement — used by the overload
+  /// experiments that confine a topology to one worker on one node
+  /// (Figs. 9 and 10). The online scheduler still reassigns it later.
+  sched::TopologyId submit_pinned(topo::Topology topology,
+                                  sched::Placement placement);
+
+ private:
+  runtime::Cluster cluster_;
+  MetricsDb db_;
+  sched::TStormInitialScheduler initial_;
+  std::vector<std::unique_ptr<LoadMonitor>> monitors_;
+  std::unique_ptr<ScheduleGenerator> generator_;
+  std::unique_ptr<CustomScheduler> custom_scheduler_;
+};
+
+}  // namespace tstorm::core

@@ -1,0 +1,30 @@
+#include "metrics/completion.h"
+
+namespace tstorm::metrics {
+
+void CompletionRecorder::record_completion(sim::Time emit_time,
+                                           sim::Time ack_time, bool late) {
+  const double ms = (ack_time - emit_time) * 1e3;
+  proc_time_ms_.add(ack_time, ms);
+  completions_.add(ack_time);
+  histogram_.add(ms);
+  ++total_completed_;
+  if (late) ++total_late_;
+}
+
+void CompletionRecorder::record_failure(sim::Time t) {
+  failures_.add(t);
+  ++total_failed_;
+}
+
+void CompletionRecorder::record_drop(sim::Time t) {
+  (void)t;
+  ++total_dropped_;
+}
+
+void CompletionRecorder::record_replay(sim::Time t) {
+  (void)t;
+  ++total_replayed_;
+}
+
+}  // namespace tstorm::metrics

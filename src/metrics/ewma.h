@@ -1,0 +1,41 @@
+// Exponentially weighted moving average, the estimator T-Storm uses for
+// workload and traffic (paper section IV-B):  Y = alpha*Y + (1-alpha)*S.
+// The smaller alpha, the more sensitive Y is to the latest sample.
+#pragma once
+
+namespace tstorm::metrics {
+
+class Ewma {
+ public:
+  /// alpha in [0, 1]; the paper sets 0.5.
+  explicit Ewma(double alpha = 0.5) : alpha_(alpha) {}
+
+  /// Feeds one sample and returns the updated estimate. The first sample
+  /// initializes the estimate directly (no bias toward zero).
+  double update(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * value_ + (1.0 - alpha_) * sample;
+    }
+    return value_;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  void set_alpha(double alpha) { alpha_ = alpha; }
+
+  void reset() {
+    value_ = 0;
+    seeded_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace tstorm::metrics

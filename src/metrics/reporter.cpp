@@ -1,0 +1,84 @@
+#include "metrics/reporter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tstorm::metrics {
+namespace {
+
+std::size_t max_windows(const std::vector<SeriesColumn>& cols,
+                        sim::Time until) {
+  std::size_t n = 0;
+  for (const auto& c : cols) {
+    if (c.series == nullptr) continue;
+    const auto width = c.series->window_width();
+    const auto horizon = static_cast<std::size_t>(until / width);
+    n = std::max(n, std::min(c.series->windows().size(), horizon));
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string format_ms(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void print_series_table(std::ostream& os,
+                        const std::vector<SeriesColumn>& cols,
+                        sim::Time until) {
+  if (cols.empty()) return;
+  os << std::setw(10) << "time(s)";
+  for (const auto& c : cols) os << std::setw(16) << c.label;
+  os << '\n';
+  const std::size_t n = max_windows(cols, until);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool any = false;
+    std::ostringstream row;
+    double start = 0;
+    for (const auto& c : cols) {
+      const auto& ws = c.series->windows();
+      if (i < ws.size() && ws[i].count > 0) {
+        any = true;
+        start = ws[i].start + c.series->window_width();
+        row << std::setw(16) << format_ms(ws[i].mean());
+      } else {
+        if (i < ws.size()) start = ws[i].start + c.series->window_width();
+        row << std::setw(16) << "-";
+      }
+    }
+    if (!any) continue;
+    os << std::setw(10) << static_cast<long long>(start) << row.str() << '\n';
+  }
+}
+
+void write_series_csv(std::ostream& os, const std::vector<SeriesColumn>& cols,
+                      sim::Time until) {
+  os << "time_s";
+  for (const auto& c : cols) os << ',' << c.label;
+  os << '\n';
+  const std::size_t n = max_windows(cols, until);
+  for (std::size_t i = 0; i < n; ++i) {
+    double start = 0;
+    std::ostringstream row;
+    for (const auto& c : cols) {
+      const auto& ws = c.series->windows();
+      if (i < ws.size()) {
+        start = ws[i].start + c.series->window_width();
+        row << ',';
+        if (ws[i].count > 0) row << format_ms(ws[i].mean());
+      } else {
+        row << ',';
+      }
+    }
+    os << static_cast<long long>(start) << row.str() << '\n';
+  }
+}
+
+}  // namespace tstorm::metrics

@@ -1,0 +1,31 @@
+// Text/CSV reporters used by the bench harness to print the same series the
+// paper plots: running time vs. average processing time, per scheduler.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/timeseries.h"
+
+namespace tstorm::metrics {
+
+/// One plotted line (e.g. "Storm", "T-Storm").
+struct SeriesColumn {
+  std::string label;
+  const WindowedSeries* series = nullptr;
+};
+
+/// Prints aligned columns: window start time, then one mean per column
+/// ("-" where a column has no observations in that window).
+void print_series_table(std::ostream& os, const std::vector<SeriesColumn>& cols,
+                        sim::Time until);
+
+/// Same data as CSV (for re-plotting the figures).
+void write_series_csv(std::ostream& os, const std::vector<SeriesColumn>& cols,
+                      sim::Time until);
+
+/// Formats a double with fixed precision, "-" for NaN.
+std::string format_ms(double v, int precision = 2);
+
+}  // namespace tstorm::metrics

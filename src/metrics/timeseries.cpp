@@ -1,0 +1,76 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tstorm::metrics {
+
+WindowedSeries::WindowedSeries(sim::Time window) : width_(window) {
+  assert(window > 0);
+}
+
+WindowedSeries::Window& WindowedSeries::window_for(sim::Time t) {
+  const auto idx = static_cast<std::size_t>(std::max(0.0, t) / width_);
+  while (windows_.size() <= idx) {
+    Window w;
+    w.start = static_cast<sim::Time>(windows_.size()) * width_;
+    windows_.push_back(w);
+  }
+  return windows_[idx];
+}
+
+void WindowedSeries::add(sim::Time t, double value) {
+  auto& w = window_for(t);
+  if (w.count == 0) {
+    w.min = value;
+    w.max = value;
+  } else {
+    w.min = std::min(w.min, value);
+    w.max = std::max(w.max, value);
+  }
+  ++w.count;
+  w.sum += value;
+  ++total_count_;
+  points_.emplace_back(t, value);
+}
+
+std::optional<double> WindowedSeries::mean_between(sim::Time from,
+                                                   sim::Time to) const {
+  double sum = 0;
+  std::uint64_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= from && t < to) {
+      sum += v;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+WindowedCounter::WindowedCounter(sim::Time window) : width_(window) {
+  assert(window > 0);
+}
+
+void WindowedCounter::add(sim::Time t, std::uint64_t n) {
+  const auto idx = static_cast<std::size_t>(std::max(0.0, t) / width_);
+  while (windows_.size() <= idx) {
+    Window w;
+    w.start = static_cast<sim::Time>(windows_.size()) * width_;
+    windows_.push_back(w);
+  }
+  windows_[idx].count += n;
+  total_ += n;
+}
+
+std::uint64_t WindowedCounter::count_between(sim::Time from,
+                                             sim::Time to) const {
+  std::uint64_t n = 0;
+  for (const auto& w : windows_) {
+    if (w.start >= from && w.start + width_ <= to) n += w.count;
+  }
+  return n;
+}
+
+}  // namespace tstorm::metrics

@@ -1,0 +1,104 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace tstorm::net {
+
+const char* to_string(LinkType type) {
+  switch (type) {
+    case LinkType::kIntraProcess:
+      return "intra-process";
+    case LinkType::kInterProcess:
+      return "inter-process";
+    case LinkType::kInterNode:
+      return "inter-node";
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulation& sim, NetworkConfig config, int num_nodes)
+    : sim_(sim), config_(config), num_nodes_(num_nodes) {
+  assert(num_nodes > 0);
+  nic_free_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+}
+
+std::uint64_t Network::framed_bytes(std::uint64_t payload) const {
+  // Header amortized over the average batch size.
+  const double header =
+      static_cast<double>(config_.header_bytes) /
+      std::max(1.0, config_.batch_factor);
+  return payload + static_cast<std::uint64_t>(std::ceil(header));
+}
+
+void Network::send(int src_node, [[maybe_unused]] int dst_node, LinkType type,
+                   std::uint64_t payload_bytes,
+                   std::function<void()> on_delivery, double extra_latency) {
+  assert(src_node >= 0 && src_node < num_nodes_);
+  assert(dst_node >= 0 && dst_node < num_nodes_);
+  assert(type == LinkType::kInterNode || src_node == dst_node);
+
+  auto& st = stats_[static_cast<int>(type)];
+  ++st.messages;
+  st.bytes += payload_bytes;
+
+  sim::Time delivery = sim_.now();
+  switch (type) {
+    case LinkType::kIntraProcess:
+      delivery += config_.intra_process_latency;
+      break;
+    case LinkType::kInterProcess: {
+      const auto bytes = framed_bytes(payload_bytes);
+      delivery += config_.inter_process_latency +
+                  static_cast<double>(bytes) * config_.serialization_per_byte +
+                  static_cast<double>(bytes) / config_.loopback_bandwidth;
+      break;
+    }
+    case LinkType::kInterNode: {
+      const auto bytes = framed_bytes(payload_bytes);
+      const double tx = static_cast<double>(bytes) / config_.nic_bandwidth;
+      auto& free_at = nic_free_[static_cast<std::size_t>(src_node)];
+      const sim::Time start = std::max(sim_.now(), free_at);
+      free_at = start + tx;
+      delivery = free_at + config_.inter_node_latency +
+                 static_cast<double>(bytes) * config_.serialization_per_byte;
+      break;
+    }
+  }
+  sim_.schedule_at(delivery + extra_latency, std::move(on_delivery));
+}
+
+double Network::estimate_delay(int src_node, LinkType type,
+                               std::uint64_t payload_bytes) const {
+  switch (type) {
+    case LinkType::kIntraProcess:
+      return config_.intra_process_latency;
+    case LinkType::kInterProcess: {
+      const auto bytes = framed_bytes(payload_bytes);
+      return config_.inter_process_latency +
+             static_cast<double>(bytes) * config_.serialization_per_byte +
+             static_cast<double>(bytes) / config_.loopback_bandwidth;
+    }
+    case LinkType::kInterNode: {
+      const auto bytes = framed_bytes(payload_bytes);
+      const double tx = static_cast<double>(bytes) / config_.nic_bandwidth;
+      const double queue_wait = std::max(
+          0.0, nic_free_[static_cast<std::size_t>(src_node)] - sim_.now());
+      return queue_wait + tx + config_.inter_node_latency +
+             static_cast<double>(bytes) * config_.serialization_per_byte;
+    }
+  }
+  return 0;
+}
+
+const LinkStats& Network::stats(LinkType type) const {
+  return stats_[static_cast<int>(type)];
+}
+
+void Network::reset_stats() {
+  for (auto& s : stats_) s = LinkStats{};
+}
+
+}  // namespace tstorm::net

@@ -1,0 +1,100 @@
+// Cluster network model. Messages between executors travel over one of
+// three link classes whose costs differ by orders of magnitude — the core
+// phenomenon behind the paper's Observation 1 (inter-node/inter-process
+// traffic significantly hurts processing time):
+//
+//   intra-process : queue handoff inside one worker (JVM); ~microseconds.
+//   inter-process : local IPC between workers on one node; adds
+//                   serialization + loopback cost.
+//   inter-node    : serialization + NIC egress (FIFO, bandwidth-limited,
+//                   shared by all flows leaving the node) + propagation.
+//
+// The NIC egress queue gives bandwidth contention: many large tuples leaving
+// one node queue behind each other, which is what makes spreading a hot
+// topology across nodes expensive for 10 KB tuples (Throughput Test).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace tstorm::net {
+
+enum class LinkType { kIntraProcess, kInterProcess, kInterNode };
+
+/// Human-readable label, e.g. for stats dumps.
+const char* to_string(LinkType type);
+
+struct NetworkConfig {
+  /// One-way delivery latencies (seconds) excluding transmission time.
+  double intra_process_latency = 5e-6;
+  double inter_process_latency = 80e-6;
+  double inter_node_latency = 350e-6;
+
+  /// NIC egress bandwidth (bytes/second). 1 Gbps per the paper's cluster.
+  double nic_bandwidth = 125.0e6;
+
+  /// Loopback bandwidth for inter-process messages (bytes/second).
+  double loopback_bandwidth = 1.25e9;
+
+  /// CPU serialization/deserialization latency per byte (seconds). Applies
+  /// to inter-process and inter-node messages only; intra-process handoff
+  /// passes object references.
+  double serialization_per_byte = 4e-9;
+
+  /// Fixed framing overhead per message (bytes). T-Storm's assignment-ID
+  /// header (paper section IV-D) is part of this; the paper argues it is
+  /// amortized because many tuples share one message.
+  std::uint64_t header_bytes = 48;
+
+  /// Average number of tuples batched per physical message; amortizes
+  /// header_bytes and per-message latency (Storm batches transfers).
+  double batch_factor = 4.0;
+};
+
+/// Per-link-class running totals.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Event-driven network: computes a delivery time for each message and
+/// schedules the receiver callback. Single-threaded; owned by the cluster.
+class Network {
+ public:
+  Network(sim::Simulation& sim, NetworkConfig config, int num_nodes);
+
+  /// Sends `payload_bytes` from `src_node` to `dst_node` over the given link
+  /// class, invoking `on_delivery` when the message arrives. For intra-node
+  /// link classes `src_node == dst_node` is required. `extra_latency` adds
+  /// caller-computed delay (e.g. endpoint crowding) to the delivery time.
+  void send(int src_node, int dst_node, LinkType type,
+            std::uint64_t payload_bytes, std::function<void()> on_delivery,
+            double extra_latency = 0.0);
+
+  /// Computes the one-way delay the next message of this size would see,
+  /// without sending (used by tests and capacity planning).
+  [[nodiscard]] double estimate_delay(int src_node, LinkType type,
+                                      std::uint64_t payload_bytes) const;
+
+  [[nodiscard]] const LinkStats& stats(LinkType type) const;
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+
+  /// Resets counters (not queue state); used between measurement windows.
+  void reset_stats();
+
+ private:
+  [[nodiscard]] std::uint64_t framed_bytes(std::uint64_t payload) const;
+
+  sim::Simulation& sim_;
+  NetworkConfig config_;
+  int num_nodes_;
+  /// Earliest time each node's NIC egress is free.
+  std::vector<sim::Time> nic_free_;
+  LinkStats stats_[3];
+};
+
+}  // namespace tstorm::net

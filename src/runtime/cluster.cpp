@@ -1,0 +1,382 @@
+#include "runtime/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sched/round_robin.h"
+
+namespace tstorm::runtime {
+
+Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
+    : sim_(sim),
+      config_(config),
+      rng_(config.seed),
+      network_(sim, config.network,
+               config.nodes.empty() ? config.num_nodes
+                                    : static_cast<int>(config.nodes.size())),
+      tracker_(*this, recorder_),
+      nimbus_(*this),
+      default_initial_(std::make_unique<sched::RoundRobinScheduler>()) {
+  // Heterogeneous override: per-node hardware specs.
+  std::vector<NodeSpec> specs;
+  if (!config_.nodes.empty()) {
+    specs = config_.nodes;
+    config_.num_nodes = static_cast<int>(specs.size());
+  } else {
+    specs.assign(static_cast<std::size_t>(config_.num_nodes),
+                 NodeSpec{config_.slots_per_node, config_.cores_per_node,
+                          config_.per_core_mhz});
+  }
+  nodes_.reserve(static_cast<std::size_t>(config_.num_nodes));
+  slot_offsets_.reserve(static_cast<std::size_t>(config_.num_nodes) + 1);
+  slot_offsets_.push_back(0);
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    const auto& spec = specs[static_cast<std::size_t>(i)];
+    nodes_.emplace_back(i, spec.cores, spec.per_core_mhz);
+    slot_offsets_.push_back(slot_offsets_.back() + spec.slots);
+  }
+  supervisors_.reserve(static_cast<std::size_t>(config_.num_nodes));
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    supervisors_.push_back(std::make_unique<Supervisor>(*this, i));
+    // Stagger sync phases across the period, as real daemons drift.
+    const double phase = config_.supervisor_sync_period *
+                         (static_cast<double>(i) + 0.5) /
+                         static_cast<double>(config_.num_nodes);
+    supervisors_.back()->start(phase);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+WorkerNode& Cluster::node(sched::NodeId id) {
+  return nodes_.at(static_cast<std::size_t>(id));
+}
+
+Supervisor& Cluster::supervisor(sched::NodeId id) {
+  return *supervisors_.at(static_cast<std::size_t>(id));
+}
+
+int Cluster::total_slots() const { return slot_offsets_.back(); }
+
+int Cluster::slots_on_node(sched::NodeId node) const {
+  return slot_offsets_.at(static_cast<std::size_t>(node) + 1) -
+         slot_offsets_.at(static_cast<std::size_t>(node));
+}
+
+sched::SlotIndex Cluster::slot_index(sched::NodeId node, int port) const {
+  assert(node >= 0 && node < config_.num_nodes);
+  assert(port >= 0 && port < slots_on_node(node));
+  return slot_offsets_[static_cast<std::size_t>(node)] + port;
+}
+
+sched::NodeId Cluster::slot_node(sched::SlotIndex slot) const {
+  // First offset strictly greater than slot, minus one.
+  const auto it = std::upper_bound(slot_offsets_.begin(),
+                                   slot_offsets_.end(), slot);
+  return static_cast<sched::NodeId>(it - slot_offsets_.begin()) - 1;
+}
+
+int Cluster::slot_port(sched::SlotIndex slot) const {
+  return slot - slot_offsets_[static_cast<std::size_t>(slot_node(slot))];
+}
+
+std::vector<sched::SlotSpec> Cluster::all_slots() const {
+  std::vector<sched::SlotSpec> out;
+  out.reserve(static_cast<std::size_t>(total_slots()));
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    for (int p = 0; p < slots_on_node(n); ++p) {
+      out.push_back({slot_index(n, p), n, p});
+    }
+  }
+  return out;
+}
+
+sched::TopologyId Cluster::submit(topo::Topology topology,
+                                  sched::ISchedulingAlgorithm*
+                                      initial_algorithm) {
+  const auto id = static_cast<sched::TopologyId>(topologies_.size());
+  topologies_.push_back(std::move(topology));
+  topology_ids_.push_back(id);
+  const topo::Topology& t = topologies_.back();
+
+  std::vector<sched::TaskId> ackers;
+  for (const auto& component : t.components()) {
+    for (int i = 0; i < component.parallelism; ++i) {
+      const auto task = static_cast<sched::TaskId>(tasks_.size());
+      tasks_.push_back(TaskInfo{task, id, &component, i});
+      if (component.kind == topo::ComponentKind::kAcker) {
+        ackers.push_back(task);
+      }
+    }
+  }
+  acker_tasks_[id] = std::move(ackers);
+
+  trace_.record({sim_.now(), trace::EventKind::kTopologySubmitted, id, -1,
+                 -1, 0,
+                 t.name() + ", " + std::to_string(t.total_executors()) +
+                     " executors"});
+  nimbus_.schedule_initial(
+      id, initial_algorithm != nullptr ? *initial_algorithm
+                                       : *default_initial_);
+  return id;
+}
+
+void Cluster::kill_topology(sched::TopologyId topo) {
+  coordination_.remove(topo);
+  trace_.record({sim_.now(), trace::EventKind::kTopologyKilled, topo, -1,
+                 -1, 0, {}});
+}
+
+const topo::Topology& Cluster::topology(sched::TopologyId topo) const {
+  return topologies_.at(static_cast<std::size_t>(topo));
+}
+
+std::vector<sched::TopologyId> Cluster::topology_ids() const {
+  return topology_ids_;
+}
+
+const TaskInfo& Cluster::task_info(sched::TaskId task) const {
+  return tasks_.at(static_cast<std::size_t>(task));
+}
+
+std::vector<sched::TaskId> Cluster::tasks_of(sched::TopologyId topo) const {
+  std::vector<sched::TaskId> out;
+  for (const auto& t : tasks_) {
+    if (t.topology == topo) out.push_back(t.task);
+  }
+  return out;
+}
+
+std::vector<sched::TaskId> Cluster::tasks_of_component(
+    sched::TopologyId topo, const std::string& component) const {
+  std::vector<sched::TaskId> out;
+  for (const auto& t : tasks_) {
+    if (t.topology == topo && t.component->name == component) {
+      out.push_back(t.task);
+    }
+  }
+  return out;
+}
+
+const std::vector<sched::TaskId>& Cluster::acker_tasks(
+    sched::TopologyId topo) const {
+  static const std::vector<sched::TaskId> kEmpty;
+  auto it = acker_tasks_.find(topo);
+  return it == acker_tasks_.end() ? kEmpty : it->second;
+}
+
+sched::SchedulerInput Cluster::scheduler_input(
+    const std::vector<sched::TopologyId>& topos) const {
+  sched::SchedulerInput input;
+  // Failed nodes contribute no slots (and zero capacity, defensively).
+  for (const auto& slot : all_slots()) {
+    if (nodes_[static_cast<std::size_t>(slot.node)].available()) {
+      input.slots.push_back(slot);
+    }
+  }
+  input.node_capacity_mhz.reserve(static_cast<std::size_t>(config_.num_nodes));
+  for (const auto& node : nodes_) {
+    input.node_capacity_mhz.push_back(
+        node.available() ? node.capacity_mhz() : 0.0);
+  }
+
+  std::unordered_set<sched::TopologyId> included(topos.begin(), topos.end());
+  for (sched::TopologyId id : topos) {
+    const topo::Topology& t = topology(id);
+    input.topologies.push_back({id, t.num_workers()});
+    for (sched::TaskId task : tasks_of(id)) {
+      input.executors.push_back({task, id, 0.0});
+    }
+    // Task-level topology edges (producer tasks x consumer tasks).
+    for (const auto& component : t.components()) {
+      for (const auto& sub : component.inputs) {
+        const auto srcs = tasks_of_component(id, sub.source);
+        const auto dsts = tasks_of_component(id, component.name);
+        for (auto s : srcs) {
+          for (auto d : dsts) input.topology_edges.emplace_back(s, d);
+        }
+      }
+    }
+  }
+
+  // Slots already used by topologies outside this scheduling run.
+  for (const auto& [other, record] : coordination_.all()) {
+    if (included.contains(other)) continue;
+    for (const auto& [task, slot] : record.placement) {
+      input.occupied_slots.push_back(slot);
+    }
+  }
+  std::sort(input.occupied_slots.begin(), input.occupied_slots.end());
+  input.occupied_slots.erase(
+      std::unique(input.occupied_slots.begin(), input.occupied_slots.end()),
+      input.occupied_slots.end());
+  return input;
+}
+
+void Cluster::register_executor(Executor* executor) {
+  router_[executor->task()].push_back(executor);
+}
+
+void Cluster::unregister_executor(Executor* executor) {
+  auto it = router_.find(executor->task());
+  if (it == router_.end()) return;
+  std::erase(it->second, executor);
+  if (it->second.empty()) router_.erase(it);
+}
+
+Executor* Cluster::resolve(sched::TaskId task,
+                           sched::AssignmentVersion sender_version) const {
+  auto it = router_.find(task);
+  if (it == router_.end() || it->second.empty()) return nullptr;
+  // Dispatcher rule (section IV-D): old senders reach old instances, new
+  // senders reach new instances. Concretely: newest instance not newer
+  // than the sender; if none, the oldest newer instance.
+  Executor* best_le = nullptr;
+  Executor* best_gt = nullptr;
+  for (Executor* e : it->second) {
+    const auto v = e->worker().version();
+    if (v <= sender_version) {
+      if (best_le == nullptr || v > best_le->worker().version()) best_le = e;
+    } else {
+      if (best_gt == nullptr || v < best_gt->worker().version()) best_gt = e;
+    }
+  }
+  return best_le != nullptr ? best_le : best_gt;
+}
+
+void Cluster::send(Executor& from, sched::TaskId dst, Envelope env) {
+  env.src = from.task();
+  env.dst = dst;
+  env.version = from.worker().version();
+
+  Executor* target = resolve(dst, env.version);
+  if (target == nullptr) {
+    note_drop();
+    return;
+  }
+  net::LinkType type;
+  if (&target->worker() == &from.worker()) {
+    type = net::LinkType::kIntraProcess;
+  } else if (target->node_id() == from.node_id()) {
+    type = net::LinkType::kInterProcess;
+  } else {
+    type = net::LinkType::kInterNode;
+  }
+  const auto src_node = from.node_id();
+  const auto dst_node = target->node_id();
+  const auto bytes = env.bytes();
+  const auto version = env.version;
+
+  // Crowding penalty: a message crossing a process boundary is handled by
+  // sender/receiver threads that contend with every other thread on their
+  // nodes. Intra-process handoffs skip this entirely — the benefit of
+  // T-Storm's worker consolidation.
+  double extra = 0.0;
+  if (type != net::LinkType::kIntraProcess) {
+    const double overhead = config_.worker_overhead_threads;
+    extra = config_.crowd_latency_coeff *
+            (node(src_node).crowding(overhead) +
+             node(dst_node).crowding(overhead));
+  }
+
+  network_.send(src_node, dst_node, type, bytes,
+                [this, dst, version, e = std::move(env)]() mutable {
+                  Executor* t = resolve(dst, version);
+                  if (t == nullptr) {
+                    note_drop();
+                    return;
+                  }
+                  t->deliver(std::move(e));
+                },
+                extra);
+}
+
+bool Cluster::deliver_control(sched::TaskId dst, Envelope env) {
+  Executor* t =
+      resolve(dst, std::numeric_limits<sched::AssignmentVersion>::max());
+  if (t == nullptr) return false;
+  env.dst = dst;
+  t->deliver(std::move(env));
+  return true;
+}
+
+std::vector<Executor*> Cluster::executors_on_node(sched::NodeId node) const {
+  std::vector<Executor*> out;
+  for (const auto& [task, instances] : router_) {
+    for (Executor* e : instances) {
+      if (e->node_id() == node) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Executor*> Cluster::instances_of(sched::TaskId task) const {
+  auto it = router_.find(task);
+  return it == router_.end() ? std::vector<Executor*>{} : it->second;
+}
+
+int Cluster::nodes_in_use() const {
+  std::unordered_set<sched::NodeId> nodes;
+  for (const auto& [task, instances] : router_) {
+    for (Executor* e : instances) nodes.insert(e->node_id());
+  }
+  return static_cast<int>(nodes.size());
+}
+
+int Cluster::slots_in_use() const {
+  std::unordered_set<sched::SlotIndex> slots;
+  for (const auto& [task, instances] : router_) {
+    for (Executor* e : instances) slots.insert(e->worker().slot());
+  }
+  return static_cast<int>(slots.size());
+}
+
+void Cluster::pause_spouts(sched::TopologyId topo, sim::Time until) {
+  trace_.record({sim_.now(), trace::EventKind::kSpoutsHalted, topo, -1, -1,
+                 0, "until t=" + std::to_string(until)});
+  for (const auto& [task, instances] : router_) {
+    for (Executor* e : instances) {
+      if (e->info().topology == topo && e->info().is_spout()) {
+        e->pause_spout_until(until);
+      }
+    }
+  }
+}
+
+bool Cluster::kill_worker(sched::NodeId node, int port) {
+  return supervisors_.at(static_cast<std::size_t>(node))->kill_worker(port);
+}
+
+bool Cluster::fail_node(sched::NodeId node) {
+  auto& n = nodes_.at(static_cast<std::size_t>(node));
+  if (!n.available()) return false;
+  n.set_available(false);
+  supervisors_.at(static_cast<std::size_t>(node))->set_active(false);
+  trace_.record({sim_.now(), trace::EventKind::kNodeFailed, -1, node, -1, 0,
+                 {}});
+  return true;
+}
+
+bool Cluster::recover_node(sched::NodeId node) {
+  auto& n = nodes_.at(static_cast<std::size_t>(node));
+  if (n.available()) return false;
+  n.set_available(true);
+  supervisors_.at(static_cast<std::size_t>(node))->set_active(true);
+  trace_.record({sim_.now(), trace::EventKind::kNodeRecovered, -1, node, -1,
+                 0, {}});
+  return true;
+}
+
+bool Cluster::node_available(sched::NodeId node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).available();
+}
+
+void Cluster::note_drop() {
+  ++dropped_;
+  recorder_.record_drop(sim_.now());
+}
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,189 @@
+// Cluster: the root object wiring together the simulation clock, network,
+// worker nodes, supervisors, Nimbus, the coordination store, the tuple
+// tracker and the message router/dispatcher. One Cluster models the
+// paper's 10-node Storm testbed end to end.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/completion.h"
+#include "net/network.h"
+#include "runtime/config.h"
+#include "runtime/coordination.h"
+#include "runtime/envelope.h"
+#include "runtime/nimbus.h"
+#include "runtime/node.h"
+#include "runtime/supervisor.h"
+#include "runtime/task.h"
+#include "runtime/tracker.h"
+#include "runtime/worker.h"
+#include "sched/scheduler.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "topo/topology.h"
+#include "trace/trace.h"
+
+namespace tstorm::runtime {
+
+/// Lifetime: the cluster schedules events (message deliveries, worker
+/// activations) into the simulation that reference cluster-owned state.
+/// Destroy the cluster only when you are done advancing the simulation —
+/// do not call sim.run*() after the cluster is gone.
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// --- Topology lifecycle. ---
+
+  /// Registers the topology, creates its tasks, and schedules it with
+  /// `initial_algorithm` (defaults to Storm's round-robin scheduler when
+  /// null). Returns the topology id.
+  sched::TopologyId submit(topo::Topology topology,
+                           sched::ISchedulingAlgorithm* initial_algorithm =
+                               nullptr);
+
+  /// Removes the topology's assignment; supervisors stop its workers on
+  /// their next sync.
+  void kill_topology(sched::TopologyId topo);
+
+  /// --- Introspection. ---
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] Nimbus& nimbus() { return nimbus_; }
+  [[nodiscard]] CoordinationStore& coordination() { return coordination_; }
+  [[nodiscard]] TupleTracker& tracker() { return tracker_; }
+  [[nodiscard]] metrics::CompletionRecorder& completion() {
+    return recorder_;
+  }
+  /// Control-plane event trace (see trace/trace.h).
+  [[nodiscard]] trace::TraceLog& trace_log() { return trace_; }
+
+  [[nodiscard]] int num_nodes() const { return config_.num_nodes; }
+  [[nodiscard]] WorkerNode& node(sched::NodeId id);
+  [[nodiscard]] Supervisor& supervisor(sched::NodeId id);
+
+  /// Total slots across the cluster (heterogeneous-aware).
+  [[nodiscard]] int total_slots() const;
+  /// Slots (ports) on one node.
+  [[nodiscard]] int slots_on_node(sched::NodeId node) const;
+
+  /// Slot indexing: slots are numbered contiguously node by node
+  /// (node 0's ports first, then node 1's, ...).
+  [[nodiscard]] sched::SlotIndex slot_index(sched::NodeId node,
+                                            int port) const;
+  [[nodiscard]] sched::NodeId slot_node(sched::SlotIndex slot) const;
+  [[nodiscard]] int slot_port(sched::SlotIndex slot) const;
+  [[nodiscard]] std::vector<sched::SlotSpec> all_slots() const;
+
+  [[nodiscard]] const topo::Topology& topology(sched::TopologyId topo) const;
+  [[nodiscard]] std::vector<sched::TopologyId> topology_ids() const;
+  [[nodiscard]] const std::vector<TaskInfo>& tasks() const { return tasks_; }
+  [[nodiscard]] const TaskInfo& task_info(sched::TaskId task) const;
+  [[nodiscard]] std::vector<sched::TaskId> tasks_of(
+      sched::TopologyId topo) const;
+  [[nodiscard]] std::vector<sched::TaskId> tasks_of_component(
+      sched::TopologyId topo, const std::string& component) const;
+  /// Acker task ids of a topology (cached, sorted; empty if num_ackers=0).
+  [[nodiscard]] const std::vector<sched::TaskId>& acker_tasks(
+      sched::TopologyId topo) const;
+
+  /// Builds the static part of a SchedulerInput (executors with zero load,
+  /// slots, topology specs, topology edges, occupied slots from currently
+  /// assigned topologies outside `topos`). Callers fill loads/traffic.
+  [[nodiscard]] sched::SchedulerInput scheduler_input(
+      const std::vector<sched::TopologyId>& topos) const;
+
+  /// --- Routing (used by executors/workers). ---
+  void register_executor(Executor* executor);
+  void unregister_executor(Executor* executor);
+
+  /// Resolves the executor instance that should receive a message sent by
+  /// a worker running under `sender_version` — the T-Storm dispatcher
+  /// rule: the newest instance not newer than the sender, else the oldest
+  /// newer one. Returns nullptr if the task has no live instance.
+  [[nodiscard]] Executor* resolve(sched::TaskId task,
+                                  sched::AssignmentVersion sender_version)
+      const;
+
+  /// Sends an envelope from `from` to task `dst` over the modeled network.
+  void send(Executor& from, sched::TaskId dst, Envelope env);
+
+  /// Zero-latency control-plane delivery to the latest instance of a task
+  /// (tracker replay requests). Returns false if no instance is live.
+  bool deliver_control(sched::TaskId dst, Envelope env);
+
+  /// --- Monitoring / stats. ---
+  [[nodiscard]] std::vector<Executor*> executors_on_node(
+      sched::NodeId node) const;
+  [[nodiscard]] std::vector<Executor*> instances_of(sched::TaskId task) const;
+  [[nodiscard]] int nodes_in_use() const;
+  [[nodiscard]] int slots_in_use() const;
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+
+  /// Pauses every live spout executor of the topology until `until`
+  /// (T-Storm reassignment smoothing). New spout executors are paused via
+  /// Worker::start's spout_halt_delay instead.
+  void pause_spouts(sched::TopologyId topo, sim::Time until);
+
+  /// Failure injection: kills the worker at (node, port) immediately.
+  bool kill_worker(sched::NodeId node, int port);
+
+  /// Node failure injection: the whole machine goes down — every worker on
+  /// it dies, its supervisor stops syncing, and its slots disappear from
+  /// scheduler inputs until recover_node(). Returns false if already down.
+  bool fail_node(sched::NodeId node);
+  /// Brings a failed node back (empty; schedulers may use it again).
+  bool recover_node(sched::NodeId node);
+  [[nodiscard]] bool node_available(sched::NodeId node) const;
+
+  /// Records a lost message (internal bookkeeping; exposed for the
+  /// executor/worker shutdown paths).
+  void note_drop();
+
+ private:
+
+  sim::Simulation& sim_;
+  ClusterConfig config_;
+  sim::Rng rng_;
+  net::Network network_;
+  CoordinationStore coordination_;
+  metrics::CompletionRecorder recorder_;
+  // Declared before supervisors_ so it outlives them: workers emit
+  // worker-stopped events from their destructors.
+  trace::TraceLog trace_;
+  TupleTracker tracker_;
+  Nimbus nimbus_;
+
+  /// slot_offsets_[n] = first slot index of node n; back() = total slots.
+  /// Declared before supervisors_ (like trace_): workers consult the slot
+  /// math from their destructors.
+  std::vector<int> slot_offsets_;
+  std::vector<WorkerNode> nodes_;
+  std::vector<std::unique_ptr<Supervisor>> supervisors_;
+
+  /// Topologies stored stably (ComponentDef pointers live in TaskInfo).
+  std::deque<topo::Topology> topologies_;
+  std::vector<sched::TopologyId> topology_ids_;
+  std::vector<TaskInfo> tasks_;  // indexed by TaskId
+  std::unordered_map<sched::TopologyId, std::vector<sched::TaskId>>
+      acker_tasks_;
+
+  /// Live executor instances per task (usually 1; 2 during T-Storm
+  /// reassignment co-existence).
+  std::unordered_map<sched::TaskId, std::vector<Executor*>> router_;
+
+  std::uint64_t dropped_ = 0;
+  std::unique_ptr<sched::ISchedulingAlgorithm> default_initial_;
+};
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,101 @@
+// Cluster configuration. Defaults model the paper's testbed: 10 IBM blade
+// servers, each with two dual-core 2.0 GHz Xeon CPUs (4 cores -> 4 slots,
+// 8000 MHz capacity), connected by a 1 Gbps network (NetworkConfig), with
+// Storm 0.8.2 timing constants (10 s supervisor sync, 30 s tuple timeout).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace tstorm::runtime {
+
+/// Per-node hardware override for heterogeneous clusters ("different
+/// worker nodes may have different numbers of slots", paper section II).
+struct NodeSpec {
+  int slots = 4;
+  int cores = 4;
+  double per_core_mhz = 2000.0;
+};
+
+struct ClusterConfig {
+  int num_nodes = 10;
+  int slots_per_node = 4;
+  int cores_per_node = 4;
+  double per_core_mhz = 2000.0;
+
+  /// Non-empty => heterogeneous cluster: one NodeSpec per node (overrides
+  /// num_nodes/slots_per_node/cores_per_node/per_core_mhz above).
+  std::vector<NodeSpec> nodes;
+
+  net::NetworkConfig network;
+
+  /// JVM worker spawn time (seconds).
+  double worker_start_delay = 2.0;
+
+  /// Supervisors poll ZooKeeper for new assignments every 10 s (section
+  /// IV-D).
+  double supervisor_sync_period = 10.0;
+
+  /// Tuples not fully acked within this window fail and may be replayed
+  /// (Storm's default of 30 s, section II).
+  double tuple_timeout = 30.0;
+
+  /// Maximum automatic replays of a failed root tuple (0 disables replay).
+  int max_replays = 3;
+
+  /// A failed root's tracking entry is kept for late-ack recording for
+  /// grace_factor * tuple_timeout after the failure (the paper's Fig. 3
+  /// reports processing times far beyond the 30 s timeout, so late
+  /// completions must stay observable), then dropped to bound memory.
+  double late_ack_grace_factor = 6.0;
+
+  /// Service-time inflation per crowding thread (see crowd model below):
+  /// models context switching (paper Observation 1 mentions context
+  /// switching as part of the spreading penalty).
+  double context_switch_coeff = 0.008;
+
+  /// --- Worker-process crowding model. ---
+  /// Every running worker (JVM) contributes this many overhead threads
+  /// (transfer/receiver/heartbeat/GC) to its node. Threads beyond the core
+  /// count make up the node's "crowding".
+  double worker_overhead_threads = 2.8;
+
+  /// Additional latency per crowding thread (seconds), applied to every
+  /// message that crosses a process boundary, at both the sending and the
+  /// receiving node. This is the first-order cost of running many workers
+  /// per node that T-Storm's worker consolidation removes (the 9.25 ms ->
+  /// 0.99 ms drop of Fig. 5(a) while still using all 10 nodes).
+  double crowd_latency_coeff = 0.15e-3;
+
+  /// --- T-Storm smooth reassignment (section IV-D). ---
+  /// When true: new workers start before old ones stop, old workers drain
+  /// for shutdown_delay, spouts halt spout_halt_delay, and per-slot
+  /// dispatchers route in-flight tuples by assignment ID. When false:
+  /// stock Storm behaviour (affected workers are killed immediately and
+  /// queued tuples are lost).
+  bool smooth_reassignment = false;
+
+  /// Delay before an old worker is shut down (2x the supervisor check
+  /// period in the paper).
+  double shutdown_delay = 20.0;
+
+  /// Additional halt applied to spout executors until bolts are ready.
+  double spout_halt_delay = 10.0;
+
+  /// CPU cost (mega-cycles) of processing one ack message in an acker
+  /// executor, and of spout control handling.
+  double acker_cost_mc = 0.02;
+  double spout_control_cost_mc = 0.01;
+
+  /// RNG seed for the whole simulation.
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] double node_capacity_mhz() const {
+    return static_cast<double>(cores_per_node) * per_core_mhz;
+  }
+  [[nodiscard]] int total_slots() const { return num_nodes * slots_per_node; }
+};
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,40 @@
+// CoordinationStore: the ZooKeeper stand-in. Nimbus publishes versioned
+// executor-to-slot assignments here; supervisors poll it on their sync
+// period, exactly like Storm's assignment znodes.
+#pragma once
+
+#include <map>
+
+#include "sched/types.h"
+
+namespace tstorm::runtime {
+
+struct AssignmentRecord {
+  sched::AssignmentVersion version = 0;
+  sched::Placement placement;
+};
+
+class CoordinationStore {
+ public:
+  void publish(sched::TopologyId topo, AssignmentRecord record) {
+    assignments_[topo] = std::move(record);
+  }
+
+  /// nullptr if the topology has no assignment.
+  [[nodiscard]] const AssignmentRecord* get(sched::TopologyId topo) const {
+    auto it = assignments_.find(topo);
+    return it == assignments_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<sched::TopologyId, AssignmentRecord>& all()
+      const {
+    return assignments_;
+  }
+
+  void remove(sched::TopologyId topo) { assignments_.erase(topo); }
+
+ private:
+  std::map<sched::TopologyId, AssignmentRecord> assignments_;
+};
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,47 @@
+// Envelope: one message between executors. Data tuples, the acking
+// protocol's control messages, and executor-internal signals all flow as
+// envelopes so that every kind of traffic exercises the same queues and
+// network links (acker placement is real traffic the scheduler sees).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sched/types.h"
+#include "topo/tuple.h"
+
+namespace tstorm::runtime {
+
+enum class MsgKind : std::uint8_t {
+  kData,         // a tuple, anchored to root_id with XOR edge id xor_val
+  kAckInit,      // spout -> acker: xor_val = XOR of initial edge ids
+  kAck,          // bolt -> acker: xor_val = input edge ^ emitted edges
+  kAckComplete,  // acker -> spout: tuple tree fully processed
+  kEmitSignal,   // spout-internal: rate-controlled emission slot
+  kReplay,       // tracker -> spout: re-emit a failed tuple
+  kTick,         // bolt-internal: periodic tick tuple
+};
+
+struct Envelope {
+  MsgKind kind = MsgKind::kData;
+  sched::TaskId src = -1;
+  sched::TaskId dst = -1;
+  std::shared_ptr<const topo::Tuple> tuple;  // kData / kReplay only
+  std::uint64_t root_id = 0;
+  std::uint64_t xor_val = 0;
+  /// Assignment version of the sending worker; the dispatcher routes by it
+  /// during reassignment (paper section IV-D).
+  sched::AssignmentVersion version = 0;
+  /// Replay attempt counter (kReplay).
+  int attempt = 0;
+
+  /// Approximate wire size.
+  [[nodiscard]] std::uint64_t bytes() const {
+    // kind + ids + anchor info.
+    std::uint64_t b = 28;
+    if (tuple) b += tuple->bytes();
+    return b;
+  }
+};
+
+}  // namespace tstorm::runtime

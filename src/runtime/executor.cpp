@@ -1,0 +1,478 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "runtime/cluster.h"
+#include "runtime/worker.h"
+
+namespace tstorm::runtime {
+
+// ---------------------------------------------------------------- Executor
+
+Executor::Executor(Cluster& cluster, Worker& worker, const TaskInfo& info)
+    : cluster_(cluster), worker_(worker), info_(info) {}
+
+Executor::~Executor() {
+  // Workers call shutdown() before destruction; this is a backstop so a
+  // destroyed executor can never stay registered.
+  if (running_) shutdown();
+}
+
+sched::NodeId Executor::node_id() const { return worker_.node_id(); }
+
+void Executor::start() {
+  assert(!running_);
+  running_ = true;
+  cluster_.node(node_id()).thread_started();
+  cluster_.register_executor(this);
+  on_start();
+}
+
+void Executor::shutdown() {
+  if (!running_) return;
+  on_shutdown();
+  if (busy_) {
+    cluster_.sim().cancel(service_event_);
+    service_event_ = sim::kInvalidEvent;
+    cluster_.node(node_id()).service_finished();
+    busy_ = false;
+  }
+  // Queued envelopes are lost with the worker process; data tuples will
+  // surface as timeouts at their spouts.
+  for (const auto& env : queue_) {
+    if (env.kind == MsgKind::kData) cluster_.note_drop();
+  }
+  queue_.clear();
+  running_ = false;
+  cluster_.unregister_executor(this);
+  cluster_.node(node_id()).thread_finished();
+}
+
+void Executor::deliver(Envelope env) {
+  if (!running_) {
+    if (env.kind == MsgKind::kData) cluster_.note_drop();
+    return;
+  }
+  queue_.push_back(std::move(env));
+  if (!busy_) begin_service();
+}
+
+void Executor::begin_service() {
+  assert(!queue_.empty());
+  busy_ = true;
+  WorkerNode& node = cluster_.node(node_id());
+  node.service_started();
+
+  const Envelope& env = queue_.front();
+  const double mc = service_cost_mc(env);
+  mega_cycles_ += mc;
+
+  // Processor sharing: when more threads compute than cores exist, each
+  // runs proportionally slower (overload -> queueing -> Fig. 3). Context
+  // switching adds a smaller penalty per crowding thread.
+  const double ps = node.processor_sharing_factor();
+  const double cs =
+      1.0 + cluster_.config().context_switch_coeff *
+                node.crowding(cluster_.config().worker_overhead_threads);
+  const double dt = (mc / node.per_core_mhz()) * ps * cs + service_io_s(env);
+
+  service_event_ =
+      cluster_.sim().schedule_after(dt, [this] { finish_service(); });
+}
+
+void Executor::finish_service() {
+  service_event_ = sim::kInvalidEvent;
+  cluster_.node(node_id()).service_finished();
+  Envelope env = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = false;
+  process(env);
+  if (running_ && !busy_ && !queue_.empty()) begin_service();
+}
+
+void Executor::send_to(sched::TaskId dst, Envelope env) {
+  ++sent_[dst];
+  cluster_.send(*this, dst, std::move(env));
+}
+
+double Executor::take_mega_cycles() {
+  const double v = mega_cycles_;
+  mega_cycles_ = 0;
+  return v;
+}
+
+std::unordered_map<sched::TaskId, std::uint64_t> Executor::take_sent() {
+  auto out = std::move(sent_);
+  sent_.clear();
+  return out;
+}
+
+// --------------------------------------------------------- EmissionHelper
+
+EmissionHelper::EmissionHelper(Cluster& cluster, Executor& self)
+    : cluster_(cluster), self_(self) {
+  const auto& info = self.info();
+  const auto& topology = cluster.topology(info.topology);
+  for (const auto& consumer : topology.consumers_of(info.component->name)) {
+    Out out;
+    out.consumer = consumer.component;
+    out.sub = consumer.subscription;
+    out.targets =
+        cluster.tasks_of_component(info.topology, consumer.component->name);
+    std::sort(out.targets.begin(), out.targets.end());
+    // Offset shuffle round-robin by task id so parallel producers do not
+    // all hit the same consumer task in lockstep.
+    out.shuffle_counter = static_cast<std::uint64_t>(info.task);
+    outs_.push_back(std::move(out));
+  }
+}
+
+namespace {
+
+Envelope make_data(sched::TaskId dst,
+                   const std::shared_ptr<const topo::Tuple>& tuple,
+                   std::uint64_t root_id, std::uint64_t edge) {
+  Envelope env;
+  env.kind = MsgKind::kData;
+  env.dst = dst;
+  env.tuple = tuple;
+  env.root_id = root_id;
+  env.xor_val = edge;
+  return env;
+}
+
+}  // namespace
+
+std::uint64_t EmissionHelper::emit(std::shared_ptr<const topo::Tuple> tuple,
+                                   std::uint64_t root_id) {
+  std::uint64_t xor_edges = 0;
+  for (auto& out : outs_) {
+    if (out.targets.empty()) continue;
+    switch (out.sub.grouping) {
+      case topo::GroupingType::kShuffle: {
+        const auto i = out.shuffle_counter++ % out.targets.size();
+        const auto edge = cluster_.rng().next_u64();
+        xor_edges ^= root_id != 0 ? edge : 0;
+        self_.send_to(out.targets[i],
+                      make_data(out.targets[i], tuple, root_id, edge));
+        break;
+      }
+      case topo::GroupingType::kFields: {
+        const auto& v = tuple->at(static_cast<std::size_t>(
+            std::max(0, out.sub.field_index)));
+        const auto i = topo::hash_value(v) % out.targets.size();
+        const auto edge = cluster_.rng().next_u64();
+        xor_edges ^= root_id != 0 ? edge : 0;
+        self_.send_to(out.targets[i],
+                      make_data(out.targets[i], tuple, root_id, edge));
+        break;
+      }
+      case topo::GroupingType::kAll: {
+        for (auto target : out.targets) {
+          const auto edge = cluster_.rng().next_u64();
+          xor_edges ^= root_id != 0 ? edge : 0;
+          self_.send_to(target, make_data(target, tuple, root_id, edge));
+        }
+        break;
+      }
+      case topo::GroupingType::kGlobal: {
+        const auto target = out.targets.front();  // lowest task id
+        const auto edge = cluster_.rng().next_u64();
+        xor_edges ^= root_id != 0 ? edge : 0;
+        self_.send_to(target, make_data(target, tuple, root_id, edge));
+        break;
+      }
+      case topo::GroupingType::kDirect:
+        // Direct subscribers only receive via emit_direct().
+        break;
+    }
+  }
+  return xor_edges;
+}
+
+std::uint64_t EmissionHelper::emit_direct(
+    const std::string& consumer, int task_index,
+    std::shared_ptr<const topo::Tuple> tuple, std::uint64_t root_id) {
+  for (auto& out : outs_) {
+    if (out.consumer->name != consumer ||
+        out.sub.grouping != topo::GroupingType::kDirect) {
+      continue;
+    }
+    if (task_index < 0 ||
+        task_index >= static_cast<int>(out.targets.size())) {
+      return 0;
+    }
+    const auto target = out.targets[static_cast<std::size_t>(task_index)];
+    const auto edge = cluster_.rng().next_u64();
+    self_.send_to(target, make_data(target, tuple, root_id, edge));
+    return root_id != 0 ? edge : 0;
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------ BoltExecutor
+
+BoltExecutor::BoltExecutor(Cluster& cluster, Worker& worker,
+                           const TaskInfo& info)
+    : Executor(cluster, worker, info) {}
+
+void BoltExecutor::on_start() {
+  bolt_ = info().component->bolt_factory();
+  emitter_ = std::make_unique<EmissionHelper>(cluster_, *this);
+  bolt_->prepare(info().index, info().component->parallelism);
+  if (info().component->tick_interval > 0) schedule_tick();
+}
+
+void BoltExecutor::on_shutdown() {
+  if (tick_event_ != sim::kInvalidEvent) {
+    cluster_.sim().cancel(tick_event_);
+    tick_event_ = sim::kInvalidEvent;
+  }
+}
+
+void BoltExecutor::schedule_tick() {
+  tick_event_ = cluster_.sim().schedule_after(
+      info().component->tick_interval, [this] {
+        schedule_tick();
+        // Like the spout's emit signal: at most one tick in the queue.
+        if (!tick_queued_) {
+          tick_queued_ = true;
+          Envelope tick;
+          tick.kind = MsgKind::kTick;
+          deliver(std::move(tick));
+        }
+      });
+}
+
+double BoltExecutor::service_cost_mc(const Envelope& env) const {
+  if (env.kind == MsgKind::kData && env.tuple) {
+    return bolt_->cpu_cost_mega_cycles(*env.tuple);
+  }
+  if (env.kind == MsgKind::kTick) return bolt_->tick_cost_mega_cycles();
+  return 0.001;
+}
+
+double BoltExecutor::service_io_s(const Envelope& env) const {
+  if (env.kind == MsgKind::kData && env.tuple) {
+    return bolt_->io_time_seconds(*env.tuple);
+  }
+  return 0.0;
+}
+
+void BoltExecutor::process(Envelope& env) {
+  if (env.kind == MsgKind::kTick) {
+    tick_queued_ = false;
+    // Tick emissions are unanchored (root id 0), like Storm tick tuples.
+    current_ = nullptr;
+    emitted_xor_ = 0;
+    bolt_->on_tick(*this);
+    return;
+  }
+  if (env.kind != MsgKind::kData || !env.tuple) return;
+  current_ = &env;
+  emitted_xor_ = 0;
+  bolt_->execute(*env.tuple, *this);
+  ack_input(env, emitted_xor_);
+  current_ = nullptr;
+}
+
+void BoltExecutor::emit(topo::Tuple tuple) {
+  auto shared = std::make_shared<const topo::Tuple>(std::move(tuple));
+  const std::uint64_t root = current_ != nullptr ? current_->root_id : 0;
+  emitted_xor_ ^= emitter_->emit(std::move(shared), root);
+}
+
+void BoltExecutor::emit_direct(const std::string& consumer, int task_index,
+                               topo::Tuple tuple) {
+  auto shared = std::make_shared<const topo::Tuple>(std::move(tuple));
+  const std::uint64_t root = current_ != nullptr ? current_->root_id : 0;
+  emitted_xor_ ^=
+      emitter_->emit_direct(consumer, task_index, std::move(shared), root);
+}
+
+void BoltExecutor::ack_input(const Envelope& env, std::uint64_t emitted_xor) {
+  if (env.root_id == 0) return;  // unanchored
+  const auto ackers =
+      cluster_.acker_tasks(info().topology);
+  if (ackers.empty()) return;
+  Envelope ack;
+  ack.kind = MsgKind::kAck;
+  ack.root_id = env.root_id;
+  ack.xor_val = env.xor_val ^ emitted_xor;
+  const auto target = ackers[env.root_id % ackers.size()];
+  ack.dst = target;
+  send_to(target, std::move(ack));
+}
+
+// ----------------------------------------------------------- SpoutExecutor
+
+SpoutExecutor::SpoutExecutor(Cluster& cluster, Worker& worker,
+                             const TaskInfo& info)
+    : Executor(cluster, worker, info) {}
+
+void SpoutExecutor::on_start() {
+  spout_ = info().component->spout_factory();
+  emitter_ = std::make_unique<EmissionHelper>(cluster_, *this);
+  acker_tasks_ = cluster_.acker_tasks(info().topology);
+  spout_->prepare(info().index, info().component->parallelism);
+  poll_event_ = cluster_.sim().schedule_after(
+      info().component->emit_interval, [this] { poll(); });
+}
+
+void SpoutExecutor::on_shutdown() {
+  if (poll_event_ != sim::kInvalidEvent) {
+    cluster_.sim().cancel(poll_event_);
+    poll_event_ = sim::kInvalidEvent;
+  }
+}
+
+void SpoutExecutor::pause_until(sim::Time t) {
+  paused_until_ = std::max(paused_until_, t);
+}
+
+void SpoutExecutor::on_root_failed(std::uint64_t root_id) {
+  if (spout_) spout_->on_fail(root_id);
+}
+
+void SpoutExecutor::poll() {
+  // Rate control: one poll per emit_interval (the paper's spout sleeps
+  // 5 ms between emissions; the sleep is excluded from processing time by
+  // construction here — emission is instantaneous in simulated time).
+  poll_event_ = cluster_.sim().schedule_after(
+      info().component->emit_interval, [this] { poll(); });
+  if (cluster_.sim().now() < paused_until_) return;
+  const int max_pending = info().component->max_pending;
+  if (max_pending > 0 &&
+      cluster_.tracker().pending(task()) >= max_pending) {
+    return;
+  }
+  if (!emit_queued_) {
+    emit_queued_ = true;
+    Envelope e;
+    e.kind = MsgKind::kEmitSignal;
+    deliver(std::move(e));
+  }
+}
+
+double SpoutExecutor::service_cost_mc(const Envelope& env) const {
+  switch (env.kind) {
+    case MsgKind::kEmitSignal:
+    case MsgKind::kReplay:
+      return spout_->cpu_cost_mega_cycles();
+    default:
+      return cluster_.config().spout_control_cost_mc;
+  }
+}
+
+void SpoutExecutor::process(Envelope& env) {
+  switch (env.kind) {
+    case MsgKind::kEmitSignal: {
+      emit_queued_ = false;
+      if (cluster_.sim().now() < paused_until_) return;
+      // Replays first (a Storm spout re-emits failed ids before reading
+      // new input), then fresh tuples — one emission per rate-control
+      // slot either way.
+      if (!replay_buffer_.empty()) {
+        Envelope replay = std::move(replay_buffer_.front());
+        replay_buffer_.pop_front();
+        emit_root(std::move(replay.tuple), replay.attempt);
+        return;
+      }
+      auto next = spout_->next_tuple();
+      if (next.has_value()) {
+        emit_root(std::make_shared<const topo::Tuple>(std::move(*next)),
+                  /*attempt=*/0);
+      }
+      break;
+    }
+    case MsgKind::kReplay:
+      if (env.tuple) replay_buffer_.push_back(std::move(env));
+      break;
+    case MsgKind::kAckComplete:
+      cluster_.tracker().on_ack_complete(env.root_id);
+      spout_->on_ack(env.root_id);
+      break;
+    default:
+      break;
+  }
+}
+
+void SpoutExecutor::emit_root(std::shared_ptr<const topo::Tuple> tuple,
+                              int attempt) {
+  if (acker_tasks_.empty()) {
+    // No ackers: unanchored emission, no tracking (root id 0).
+    emitter_->emit(std::move(tuple), 0);
+    return;
+  }
+  std::uint64_t root = cluster_.rng().next_u64();
+  if (root == 0) root = 1;
+  cluster_.tracker().register_root(root, task(), tuple, attempt);
+  const std::uint64_t xor_edges = emitter_->emit(tuple, root);
+  Envelope init;
+  init.kind = MsgKind::kAckInit;
+  init.root_id = root;
+  init.xor_val = xor_edges;
+  const auto target = acker_tasks_[root % acker_tasks_.size()];
+  init.dst = target;
+  send_to(target, std::move(init));
+}
+
+// ----------------------------------------------------------- AckerExecutor
+
+AckerExecutor::AckerExecutor(Cluster& cluster, Worker& worker,
+                             const TaskInfo& info)
+    : Executor(cluster, worker, info) {}
+
+double AckerExecutor::service_cost_mc(const Envelope& /*env*/) const {
+  return cluster_.config().acker_cost_mc;
+}
+
+void AckerExecutor::maybe_expire() {
+  if (++processed_ % kSweepInterval != 0) return;
+  // Same horizon as the tracker's late-ack grace: trees that can still
+  // complete observably must keep their XOR state.
+  const sim::Time horizon =
+      cluster_.sim().now() - cluster_.config().late_ack_grace_factor *
+                                 cluster_.config().tuple_timeout;
+  std::erase_if(pending_, [horizon](const auto& kv) {
+    return kv.second.created < horizon;
+  });
+}
+
+void AckerExecutor::process(Envelope& env) {
+  maybe_expire();
+  switch (env.kind) {
+    case MsgKind::kAckInit: {
+      AckState& st = pending_[env.root_id];
+      if (st.xor_val == 0 && !st.init_seen) {
+        st.created = cluster_.sim().now();
+      }
+      st.xor_val ^= env.xor_val;
+      st.spout_task = env.src;
+      st.init_seen = true;
+      break;
+    }
+    case MsgKind::kAck: {
+      auto [it, inserted] = pending_.try_emplace(env.root_id);
+      if (inserted) it->second.created = cluster_.sim().now();
+      it->second.xor_val ^= env.xor_val;
+      break;
+    }
+    default:
+      return;
+  }
+  const AckState& st = pending_[env.root_id];
+  if (st.init_seen && st.xor_val == 0) {
+    Envelope done;
+    done.kind = MsgKind::kAckComplete;
+    done.root_id = env.root_id;
+    done.dst = st.spout_task;
+    const auto spout = st.spout_task;
+    pending_.erase(env.root_id);
+    send_to(spout, std::move(done));
+  }
+}
+
+}  // namespace tstorm::runtime

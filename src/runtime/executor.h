@@ -1,0 +1,224 @@
+// Executors: the threads that run tasks. Each executor is a single-server
+// queue — envelopes wait FIFO, service time derives from the component's
+// declared CPU cost, the node's processor-sharing factor (overload!) and
+// context-switch inflation, plus any blocking I/O. Subclasses implement
+// spout, bolt, and acker semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/envelope.h"
+#include "runtime/task.h"
+#include "sim/simulation.h"
+#include "topo/component.h"
+
+namespace tstorm::runtime {
+
+class Cluster;
+class Worker;
+
+class Executor {
+ public:
+  Executor(Cluster& cluster, Worker& worker, const TaskInfo& info);
+  virtual ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Registers with the cluster router and the node; prepares user code.
+  void start();
+
+  /// Unregisters; drops queued envelopes (they are lost, as when a Storm
+  /// worker process is killed).
+  void shutdown();
+
+  /// Enqueues an envelope; starts service if idle. Dropped if not running.
+  void deliver(Envelope env);
+
+  [[nodiscard]] const TaskInfo& info() const { return info_; }
+  [[nodiscard]] sched::TaskId task() const { return info_.task; }
+  [[nodiscard]] Worker& worker() { return worker_; }
+  [[nodiscard]] const Worker& worker() const { return worker_; }
+  [[nodiscard]] sched::NodeId node_id() const;
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// --- Load-monitor hooks (paper section IV-B). ---
+  /// Mega-cycles consumed since the last call (divide by the sampling
+  /// period for MHz).
+  double take_mega_cycles();
+  /// Envelopes sent per destination task since the last call.
+  std::unordered_map<sched::TaskId, std::uint64_t> take_sent();
+
+  /// Spout-only hooks with no-op defaults (avoids downcasts in the
+  /// tracker and the cluster's spout-pause path).
+  virtual void on_root_failed(std::uint64_t /*root_id*/) {}
+  virtual void pause_spout_until(sim::Time /*t*/) {}
+
+ protected:
+  /// Runs the component logic for one envelope (after its service time).
+  virtual void process(Envelope& env) = 0;
+  /// CPU cost of servicing `env` in mega-cycles.
+  [[nodiscard]] virtual double service_cost_mc(const Envelope& env) const = 0;
+  /// Blocking I/O portion of the service (occupies the thread, not CPU).
+  [[nodiscard]] virtual double service_io_s(const Envelope& /*env*/) const {
+    return 0.0;
+  }
+  /// Called from start() after registration.
+  virtual void on_start() {}
+  /// Called from shutdown() before deregistration.
+  virtual void on_shutdown() {}
+
+  friend class EmissionHelper;
+
+  /// Sends an envelope to a destination task through the cluster (records
+  /// the send for the load monitor).
+  void send_to(sched::TaskId dst, Envelope env);
+
+  Cluster& cluster_;
+  Worker& worker_;
+
+ private:
+  void begin_service();
+  void finish_service();
+
+  // By value: the cluster's task table can reallocate on later submits.
+  const TaskInfo info_;
+  std::deque<Envelope> queue_;
+  bool running_ = false;
+  bool busy_ = false;
+  sim::EventId service_event_ = sim::kInvalidEvent;
+  double mega_cycles_ = 0;
+  std::unordered_map<sched::TaskId, std::uint64_t> sent_;
+};
+
+/// Shared emission logic: computes target tasks per subscription and
+/// grouping, assigns fresh XOR edge ids, and sends data envelopes.
+/// Returns the XOR of all new edge ids (for the ack protocol).
+class EmissionHelper {
+ public:
+  EmissionHelper(Cluster& cluster, Executor& self);
+
+  /// Emits `tuple` from `self`'s component to all subscribers.
+  std::uint64_t emit(std::shared_ptr<const topo::Tuple> tuple,
+                     std::uint64_t root_id);
+
+  /// Direct grouping emission to one task of a named consumer.
+  std::uint64_t emit_direct(const std::string& consumer, int task_index,
+                            std::shared_ptr<const topo::Tuple> tuple,
+                            std::uint64_t root_id);
+
+ private:
+  struct Out {
+    const topo::ComponentDef* consumer;
+    topo::StreamSubscription sub;
+    std::vector<sched::TaskId> targets;  // consumer tasks, sorted
+    std::uint64_t shuffle_counter = 0;
+  };
+
+  Cluster& cluster_;
+  Executor& self_;
+  std::vector<Out> outs_;
+};
+
+class BoltExecutor final : public Executor, private topo::BoltContext {
+ public:
+  BoltExecutor(Cluster& cluster, Worker& worker, const TaskInfo& info);
+
+ protected:
+  void process(Envelope& env) override;
+  [[nodiscard]] double service_cost_mc(const Envelope& env) const override;
+  [[nodiscard]] double service_io_s(const Envelope& env) const override;
+  void on_start() override;
+
+ private:
+  // BoltContext:
+  void emit(topo::Tuple tuple) override;
+  void emit_direct(const std::string& consumer, int task_index,
+                   topo::Tuple tuple) override;
+  [[nodiscard]] int task_index() const override { return info().index; }
+  [[nodiscard]] int component_parallelism() const override {
+    return info().component->parallelism;
+  }
+
+  void ack_input(const Envelope& env, std::uint64_t emitted_xor);
+  void schedule_tick();
+  void on_shutdown() override;
+
+  std::unique_ptr<topo::Bolt> bolt_;
+  std::unique_ptr<EmissionHelper> emitter_;
+  const Envelope* current_ = nullptr;
+  std::uint64_t emitted_xor_ = 0;
+  sim::EventId tick_event_ = sim::kInvalidEvent;
+  bool tick_queued_ = false;
+};
+
+class SpoutExecutor final : public Executor {
+ public:
+  SpoutExecutor(Cluster& cluster, Worker& worker, const TaskInfo& info);
+
+  /// Suspends emission until the given time (T-Storm reassignment halt).
+  void pause_until(sim::Time t);
+
+  void on_root_failed(std::uint64_t root_id) override;
+  void pause_spout_until(sim::Time t) override { pause_until(t); }
+
+ protected:
+  void process(Envelope& env) override;
+  [[nodiscard]] double service_cost_mc(const Envelope& env) const override;
+  void on_start() override;
+  void on_shutdown() override;
+
+ private:
+  void poll();
+  void emit_root(std::shared_ptr<const topo::Tuple> tuple, int attempt);
+
+  std::unique_ptr<topo::Spout> spout_;
+  std::unique_ptr<EmissionHelper> emitter_;
+  sim::EventId poll_event_ = sim::kInvalidEvent;
+  bool emit_queued_ = false;
+  sim::Time paused_until_ = 0;
+  std::vector<sched::TaskId> acker_tasks_;
+  /// Failed tuples waiting to be re-emitted. Drained through the same
+  /// rate-controlled emission path as fresh tuples (one per poll), exactly
+  /// like a Storm spout replaying from its source on nextTuple — replays
+  /// must not bypass rate control or an overloaded topology can never
+  /// drain its failure backlog.
+  std::deque<Envelope> replay_buffer_;
+};
+
+class AckerExecutor final : public Executor {
+ public:
+  AckerExecutor(Cluster& cluster, Worker& worker, const TaskInfo& info);
+
+  [[nodiscard]] std::size_t pending_entries() const {
+    return pending_.size();
+  }
+
+ protected:
+  void process(Envelope& env) override;
+  [[nodiscard]] double service_cost_mc(const Envelope& env) const override;
+
+ private:
+  struct AckState {
+    std::uint64_t xor_val = 0;
+    sched::TaskId spout_task = -1;
+    sim::Time created = 0;
+    bool init_seen = false;
+  };
+
+  /// Storm's acker keeps its pending map in a RotatingMap so trees whose
+  /// tuples were lost don't leak: entries older than twice the tuple
+  /// timeout are dropped. Swept lazily every kSweepInterval messages.
+  void maybe_expire();
+
+  static constexpr std::uint64_t kSweepInterval = 4096;
+  std::unordered_map<std::uint64_t, AckState> pending_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,145 @@
+#include "runtime/nimbus.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "runtime/cluster.h"
+
+namespace tstorm::runtime {
+
+Nimbus::Nimbus(Cluster& cluster) : cluster_(cluster) {}
+
+sched::AssignmentVersion Nimbus::next_version() {
+  auto v = static_cast<sched::AssignmentVersion>(
+      std::llround(cluster_.sim().now() * 1000.0));
+  if (v <= last_version_) v = last_version_ + 1;
+  last_version_ = v;
+  return v;
+}
+
+void Nimbus::schedule_initial(sched::TopologyId topo,
+                              sched::ISchedulingAlgorithm& algorithm) {
+  auto input = cluster_.scheduler_input({topo});
+  auto result = algorithm.schedule(input);
+  const auto tasks = cluster_.tasks_of(topo);
+  for (sched::TaskId t : tasks) {
+    if (!result.assignment.contains(t)) {
+      throw std::runtime_error("initial scheduler '" + algorithm.name() +
+                               "' left tasks of topology unplaced");
+    }
+  }
+  AssignmentRecord record;
+  record.version = next_version();
+  record.placement = std::move(result.assignment);
+  cluster_.trace_log().record({cluster_.sim().now(),
+                               trace::EventKind::kScheduleApplied, topo, -1,
+                               -1, record.version,
+                               "initial: " + algorithm.name()});
+  cluster_.coordination().publish(topo, std::move(record));
+}
+
+bool Nimbus::apply_placement(sched::TopologyId topo,
+                             const sched::Placement& placement,
+                             sched::AssignmentVersion version) {
+  const auto tasks = cluster_.tasks_of(topo);
+  if (tasks.empty()) return false;
+  const int total_slots = cluster_.total_slots();
+
+  std::unordered_set<sched::SlotIndex> my_slots;
+  sched::Placement filtered;
+  for (sched::TaskId t : tasks) {
+    auto it = placement.find(t);
+    if (it == placement.end()) return false;  // must cover the topology
+    if (it->second < 0 || it->second >= total_slots) return false;
+    my_slots.insert(it->second);
+    filtered.emplace(t, it->second);
+  }
+
+  // A slot hosts one topology: reject collisions with other topologies'
+  // current assignments.
+  for (const auto& [other, record] : cluster_.coordination().all()) {
+    if (other == topo) continue;
+    for (const auto& [task, slot] : record.placement) {
+      if (my_slots.contains(slot)) return false;
+    }
+  }
+
+  const auto* current = cluster_.coordination().get(topo);
+  if (current != nullptr && version <= current->version) return false;
+
+  AssignmentRecord record;
+  record.version = version;
+  record.placement = std::move(filtered);
+  cluster_.trace_log().record({cluster_.sim().now(),
+                               trace::EventKind::kScheduleApplied, topo, -1,
+                               -1, version, {}});
+  cluster_.coordination().publish(topo, std::move(record));
+  return true;
+}
+
+bool Nimbus::rebalance(sched::TopologyId topo,
+                       sched::ISchedulingAlgorithm& algorithm,
+                       int num_workers_override) {
+  if (cluster_.tasks_of(topo).empty()) return false;  // unknown topology
+  auto input = cluster_.scheduler_input({topo});
+  if (num_workers_override > 0) {
+    for (auto& t : input.topologies) {
+      if (t.id == topo) t.requested_workers = num_workers_override;
+    }
+  }
+  // The topology's own current slots are free to reuse: drop them from the
+  // occupied set (scheduler_input only lists other topologies' slots, so
+  // nothing to do) and schedule.
+  auto result = algorithm.schedule(input);
+  for (sched::TaskId t : cluster_.tasks_of(topo)) {
+    if (!result.assignment.contains(t)) return false;
+  }
+  return apply_placement(topo, result.assignment, next_version());
+}
+
+bool Nimbus::apply_placements(
+    const std::map<sched::TopologyId, sched::Placement>& placements,
+    sched::AssignmentVersion version) {
+  const int total_slots = cluster_.total_slots();
+  // Validate coverage, ranges, and slot exclusivity across the new set.
+  std::unordered_map<sched::SlotIndex, sched::TopologyId> slot_owner;
+  for (const auto& [topo, placement] : placements) {
+    const auto tasks = cluster_.tasks_of(topo);
+    if (tasks.empty()) return false;
+    for (sched::TaskId t : tasks) {
+      auto it = placement.find(t);
+      if (it == placement.end()) return false;
+      if (it->second < 0 || it->second >= total_slots) return false;
+      auto [oit, inserted] = slot_owner.emplace(it->second, topo);
+      if (!inserted && oit->second != topo) return false;
+    }
+    const auto* current = cluster_.coordination().get(topo);
+    if (current != nullptr && version <= current->version) return false;
+  }
+  // Conflicts with assigned topologies outside the set.
+  for (const auto& [other, record] : cluster_.coordination().all()) {
+    if (placements.contains(other)) continue;
+    for (const auto& [task, slot] : record.placement) {
+      auto it = slot_owner.find(slot);
+      if (it != slot_owner.end()) return false;
+    }
+  }
+  for (const auto& [topo, placement] : placements) {
+    AssignmentRecord record;
+    record.version = version;
+    const auto tasks = cluster_.tasks_of(topo);
+    for (sched::TaskId t : tasks) record.placement.emplace(t, placement.at(t));
+    cluster_.trace_log().record({cluster_.sim().now(),
+                                 trace::EventKind::kScheduleApplied, topo,
+                                 -1, -1, version, {}});
+    cluster_.coordination().publish(topo, std::move(record));
+  }
+  return true;
+}
+
+const AssignmentRecord* Nimbus::assignment(sched::TopologyId topo) const {
+  return cluster_.coordination().get(topo);
+}
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,64 @@
+// Nimbus: the master daemon. Owns topology submission (initial assignment
+// via a pluggable algorithm), accepts assignments pushed by T-Storm's
+// custom scheduler, and publishes everything to the coordination store for
+// supervisors to pick up.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "runtime/coordination.h"
+#include "sched/scheduler.h"
+
+namespace tstorm::runtime {
+
+class Cluster;
+
+class Nimbus {
+ public:
+  explicit Nimbus(Cluster& cluster);
+
+  /// Computes and publishes the initial placement for a newly submitted
+  /// topology using `algorithm` (Storm: round-robin; T-Storm: the modified
+  /// default, section IV-C). Throws std::runtime_error if the algorithm
+  /// leaves executors unplaced.
+  void schedule_initial(sched::TopologyId topo,
+                        sched::ISchedulingAlgorithm& algorithm);
+
+  /// Applies an externally computed placement (T-Storm custom scheduler
+  /// path). Validates slots and structural sanity; returns false and
+  /// changes nothing if `placement` does not cover the topology's tasks.
+  bool apply_placement(sched::TopologyId topo,
+                       const sched::Placement& placement,
+                       sched::AssignmentVersion version);
+
+  /// Applies a consistent multi-topology schedule atomically (the T-Storm
+  /// schedule generator reassigns all topologies in one run). Placements
+  /// are validated against each other and against assigned topologies not
+  /// present in the map; all-or-nothing.
+  bool apply_placements(
+      const std::map<sched::TopologyId, sched::Placement>& placements,
+      sched::AssignmentVersion version);
+
+  /// Storm's `rebalance` command: re-runs the initial scheduling algorithm
+  /// for one topology, optionally overriding the requested worker count Nu
+  /// (pass 0 to keep the topology's own value). The new assignment rolls
+  /// out through the normal supervisor path.
+  bool rebalance(sched::TopologyId topo,
+                 sched::ISchedulingAlgorithm& algorithm,
+                 int num_workers_override = 0);
+
+  /// Current assignment, nullptr if never scheduled.
+  [[nodiscard]] const AssignmentRecord* assignment(
+      sched::TopologyId topo) const;
+
+  /// Monotone assignment version stamped from simulated time
+  /// (milliseconds), the "timestamp of an assignment [used] as its ID".
+  sched::AssignmentVersion next_version();
+
+ private:
+  Cluster& cluster_;
+  sched::AssignmentVersion last_version_ = 0;
+};
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,86 @@
+// WorkerNode: physical machine model. Tracks how many executor threads are
+// resident and how many are actively consuming CPU; the executor service
+// path uses these to compute processor-sharing slowdown (overload) and
+// context-switch inflation (crowding).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "sched/types.h"
+
+namespace tstorm::runtime {
+
+class WorkerNode {
+ public:
+  WorkerNode(sched::NodeId id, int cores, double per_core_mhz)
+      : id_(id), cores_(cores), per_core_mhz_(per_core_mhz) {}
+
+  [[nodiscard]] sched::NodeId id() const { return id_; }
+  [[nodiscard]] int cores() const { return cores_; }
+
+  /// Machine availability (node-failure injection). An unavailable node's
+  /// slots are withheld from schedulers and its supervisor is down.
+  [[nodiscard]] bool available() const { return available_; }
+  void set_available(bool available) { available_ = available; }
+  [[nodiscard]] double per_core_mhz() const { return per_core_mhz_; }
+  [[nodiscard]] double capacity_mhz() const {
+    return static_cast<double>(cores_) * per_core_mhz_;
+  }
+
+  /// Executor thread lifecycle (resident whether or not it is busy).
+  void thread_started() { ++resident_; }
+  void thread_finished() {
+    assert(resident_ > 0);
+    --resident_;
+  }
+
+  /// Service accounting: an executor is "busy" while processing a tuple.
+  void service_started() { ++busy_; }
+  void service_finished() {
+    assert(busy_ > 0);
+    --busy_;
+  }
+
+  /// Worker-process lifecycle (each JVM adds overhead threads: transfer,
+  /// receiver, heartbeat, GC — the crowding the paper's worker
+  /// consolidation removes).
+  void worker_started() { ++workers_; }
+  void worker_finished() {
+    assert(workers_ > 0);
+    --workers_;
+  }
+
+  [[nodiscard]] int resident_threads() const { return resident_; }
+  [[nodiscard]] int busy_threads() const { return busy_; }
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Excess schedulable threads beyond the core count, counting busy
+  /// executor threads plus per-worker overhead threads. Crowded nodes
+  /// context-switch on every message handoff, inflating both service
+  /// times and message latency.
+  [[nodiscard]] double crowding(double overhead_threads_per_worker) const {
+    const double threads =
+        static_cast<double>(busy_) +
+        overhead_threads_per_worker * static_cast<double>(workers_);
+    return std::max(0.0, threads - static_cast<double>(cores_));
+  }
+
+  /// >= 1; how much slower a busy thread runs than on an idle node. When
+  /// more threads compute than there are cores, each gets a core share.
+  [[nodiscard]] double processor_sharing_factor() const {
+    return std::max(1.0,
+                    static_cast<double>(busy_) / static_cast<double>(cores_));
+  }
+
+ private:
+  sched::NodeId id_;
+  int cores_;
+  double per_core_mhz_;
+  int resident_ = 0;
+  int busy_ = 0;
+  int workers_ = 0;
+  bool available_ = true;
+};
+
+}  // namespace tstorm::runtime

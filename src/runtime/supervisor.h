@@ -1,0 +1,63 @@
+// Supervisor: the per-node daemon. Polls the coordination store every
+// sync period (10 s, Table II), starts/stops/restarts workers to match the
+// published assignment, and implements both reassignment styles:
+//   Storm:   kill affected workers immediately; replacements start after
+//            the JVM spawn delay; in-flight tuples are lost.
+//   T-Storm: start replacements first, drain old workers for
+//            shutdown_delay, halt spouts, and let the dispatcher route by
+//            assignment version (section IV-D).
+// Also restarts dead workers (fault tolerance, section II).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "runtime/worker.h"
+#include "sim/simulation.h"
+
+namespace tstorm::runtime {
+
+class Cluster;
+
+class Supervisor {
+ public:
+  Supervisor(Cluster& cluster, sched::NodeId node);
+
+  /// Starts the periodic sync loop; `phase` staggers supervisors so they
+  /// do not all sync at the same instant.
+  void start(sim::Time phase);
+
+  /// Forces an immediate reconciliation (tests).
+  void sync();
+
+  [[nodiscard]] sched::NodeId node() const { return node_; }
+
+  /// Worker currently bound to a port (may be starting); nullptr if none.
+  [[nodiscard]] Worker* worker_at(int port);
+
+  /// Kills the worker at `port` (failure injection). Returns false if no
+  /// worker is there. The supervisor restarts it on its next sync.
+  bool kill_worker(int port);
+
+  /// Node failure / recovery: an inactive supervisor kills every worker
+  /// (the machine is gone) and stops syncing until reactivated.
+  void set_active(bool active);
+  [[nodiscard]] bool active() const { return active_; }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Worker>>& draining() const {
+    return draining_;
+  }
+
+ private:
+  void retire(std::unique_ptr<Worker> worker);
+
+  Cluster& cluster_;
+  sched::NodeId node_;
+  std::map<int, std::unique_ptr<Worker>> workers_;  // port -> current worker
+  std::vector<std::unique_ptr<Worker>> draining_;
+  std::unique_ptr<sim::PeriodicTask> sync_task_;
+  bool active_ = true;
+};
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,31 @@
+// Task bookkeeping: the cluster assigns globally unique task ids across all
+// submitted topologies (as Nimbus does) and remembers which component each
+// task instantiates.
+#pragma once
+
+#include "sched/types.h"
+#include "topo/topology.h"
+
+namespace tstorm::runtime {
+
+struct TaskInfo {
+  sched::TaskId task = -1;
+  sched::TopologyId topology = -1;
+  /// Points into the Topology owned by the cluster; stable for the
+  /// cluster's lifetime.
+  const topo::ComponentDef* component = nullptr;
+  /// Index of this task within its component [0, parallelism).
+  int index = 0;
+
+  [[nodiscard]] bool is_spout() const {
+    return component->kind == topo::ComponentKind::kSpout;
+  }
+  [[nodiscard]] bool is_bolt() const {
+    return component->kind == topo::ComponentKind::kBolt;
+  }
+  [[nodiscard]] bool is_acker() const {
+    return component->kind == topo::ComponentKind::kAcker;
+  }
+};
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,95 @@
+#include "runtime/tracker.h"
+
+#include <limits>
+
+#include "runtime/cluster.h"
+
+namespace tstorm::runtime {
+
+TupleTracker::TupleTracker(Cluster& cluster,
+                           metrics::CompletionRecorder& recorder)
+    : cluster_(cluster), recorder_(recorder) {}
+
+void TupleTracker::register_root(std::uint64_t root_id,
+                                 sched::TaskId spout_task,
+                                 std::shared_ptr<const topo::Tuple> tuple,
+                                 int attempt) {
+  Entry e;
+  e.spout_task = spout_task;
+  e.emit_time = cluster_.sim().now();
+  e.tuple = std::move(tuple);
+  e.attempt = attempt;
+  e.timeout_event = cluster_.sim().schedule_after(
+      cluster_.config().tuple_timeout,
+      [this, root_id] { on_timeout(root_id); });
+  entries_[root_id] = std::move(e);
+  ++pending_[spout_task];
+  ++in_flight_;
+}
+
+void TupleTracker::on_ack_complete(std::uint64_t root_id) {
+  auto it = entries_.find(root_id);
+  if (it == entries_.end()) return;  // duplicate ack
+  Entry& e = it->second;
+  if (e.failed) {
+    // Acked after the timeout fired: the work did complete, just too late
+    // (paper Fig. 3 shows processing times far beyond the 30 s timeout).
+    recorder_.record_completion(e.emit_time, cluster_.sim().now(),
+                                /*late=*/true);
+  } else {
+    cluster_.sim().cancel(e.timeout_event);
+    recorder_.record_completion(e.emit_time, cluster_.sim().now(),
+                                /*late=*/false);
+    --pending_[e.spout_task];
+    --in_flight_;
+  }
+  entries_.erase(it);
+}
+
+void TupleTracker::on_timeout(std::uint64_t root_id) {
+  auto it = entries_.find(root_id);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  e.timeout_event = sim::kInvalidEvent;
+  e.failed = true;
+  recorder_.record_failure(cluster_.sim().now());
+  --pending_[e.spout_task];
+  --in_flight_;
+
+  // Notify the (current) spout instance so user code sees fail().
+  if (Executor* inst = cluster_.resolve(
+          e.spout_task, std::numeric_limits<sched::AssignmentVersion>::max());
+      inst != nullptr) {
+    inst->on_root_failed(root_id);
+  }
+
+  const int max_replays = cluster_.config().max_replays;
+  if (max_replays > 0 && e.attempt + 1 <= max_replays && e.tuple) {
+    recorder_.record_replay(cluster_.sim().now());
+    Envelope replay;
+    replay.kind = MsgKind::kReplay;
+    replay.tuple = e.tuple;
+    replay.attempt = e.attempt + 1;
+    cluster_.deliver_control(e.spout_task, std::move(replay));
+  }
+  // Keep the entry (minus the retained tuple) so a late ack can still be
+  // recorded as a late completion — but only for a bounded grace period,
+  // or overloaded runs would leak an entry per failed tuple.
+  e.tuple.reset();
+  cluster_.sim().schedule_after(
+      cluster_.config().late_ack_grace_factor *
+          cluster_.config().tuple_timeout,
+      [this, root_id] {
+        auto eit = entries_.find(root_id);
+        if (eit != entries_.end() && eit->second.failed) {
+          entries_.erase(eit);
+        }
+      });
+}
+
+int TupleTracker::pending(sched::TaskId spout_task) const {
+  auto it = pending_.find(spout_task);
+  return it == pending_.end() ? 0 : it->second;
+}
+
+}  // namespace tstorm::runtime

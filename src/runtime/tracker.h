@@ -1,0 +1,62 @@
+// TupleTracker: registry of in-flight root tuples. Implements the
+// guaranteed-message-processing contract around the acker protocol:
+// registers each spout emission, arms the 30 s timeout, records
+// completions/failures into the CompletionRecorder, and requests replays of
+// failed tuples (bounded attempts).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "metrics/completion.h"
+#include "sched/types.h"
+#include "sim/simulation.h"
+#include "topo/tuple.h"
+
+namespace tstorm::runtime {
+
+class Cluster;
+
+class TupleTracker {
+ public:
+  TupleTracker(Cluster& cluster, metrics::CompletionRecorder& recorder);
+
+  /// Registers a freshly emitted root tuple and arms its timeout. The
+  /// tuple is retained for replay. Returns nothing; the caller generated
+  /// root_id (it is also the acking key).
+  void register_root(std::uint64_t root_id, sched::TaskId spout_task,
+                     std::shared_ptr<const topo::Tuple> tuple, int attempt);
+
+  /// Called when the spout receives kAckComplete for root_id. Records
+  /// completion (late if the timeout already fired) and releases state.
+  void on_ack_complete(std::uint64_t root_id);
+
+  /// Unacked root tuples for a spout task (drives max_pending).
+  [[nodiscard]] int pending(sched::TaskId spout_task) const;
+
+  /// All live (unacked, not-yet-failed) roots.
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
+  [[nodiscard]] metrics::CompletionRecorder& recorder() { return recorder_; }
+
+ private:
+  void on_timeout(std::uint64_t root_id);
+
+  struct Entry {
+    sched::TaskId spout_task = -1;
+    sim::Time emit_time = 0;
+    std::shared_ptr<const topo::Tuple> tuple;
+    int attempt = 0;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+    bool failed = false;
+  };
+
+  Cluster& cluster_;
+  metrics::CompletionRecorder& recorder_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<sched::TaskId, int> pending_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,120 @@
+#include "runtime/worker.h"
+
+#include <limits>
+
+#include <cassert>
+
+#include "runtime/cluster.h"
+
+namespace tstorm::runtime {
+
+const char* to_string(WorkerState s) {
+  switch (s) {
+    case WorkerState::kStarting:
+      return "starting";
+    case WorkerState::kRunning:
+      return "running";
+    case WorkerState::kDraining:
+      return "draining";
+    case WorkerState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+Worker::Worker(Cluster& cluster, sched::TopologyId topology,
+               sched::SlotIndex slot, sched::AssignmentVersion version,
+               std::vector<sched::TaskId> tasks)
+    : cluster_(cluster),
+      topology_(topology),
+      slot_(slot),
+      version_(version),
+      tasks_(std::move(tasks)) {}
+
+Worker::~Worker() {
+  if (state_ != WorkerState::kDead) stop();
+}
+
+sched::NodeId Worker::node_id() const { return cluster_.slot_node(slot_); }
+
+void Worker::start(sim::Time delay, sim::Time spout_halt_delay) {
+  assert(state_ == WorkerState::kStarting);
+  pending_event_ = cluster_.sim().schedule_after(
+      delay, [this, spout_halt_delay] { activate(spout_halt_delay); });
+}
+
+void Worker::activate(sim::Time spout_halt_delay) {
+  pending_event_ = sim::kInvalidEvent;
+  if (state_ != WorkerState::kStarting) return;
+  state_ = WorkerState::kRunning;
+  cluster_.node(node_id()).worker_started();
+  cluster_.trace_log().record({cluster_.sim().now(),
+                               trace::EventKind::kWorkerStarted, topology_,
+                               node_id(), slot_, version_,
+                               std::to_string(tasks_.size()) + " tasks"});
+  for (sched::TaskId t : tasks_) {
+    const TaskInfo& info = cluster_.task_info(t);
+    std::unique_ptr<Executor> ex;
+    switch (info.component->kind) {
+      case topo::ComponentKind::kSpout:
+        ex = std::make_unique<SpoutExecutor>(cluster_, *this, info);
+        break;
+      case topo::ComponentKind::kBolt:
+        ex = std::make_unique<BoltExecutor>(cluster_, *this, info);
+        break;
+      case topo::ComponentKind::kAcker:
+        ex = std::make_unique<AckerExecutor>(cluster_, *this, info);
+        break;
+    }
+    executors_.push_back(std::move(ex));
+  }
+  for (auto& ex : executors_) ex->start();
+  if (spout_halt_delay > 0) {
+    const sim::Time until = cluster_.sim().now() + spout_halt_delay;
+    for (auto& ex : executors_) ex->pause_spout_until(until);
+  }
+}
+
+void Worker::drain_then_stop(sim::Time delay) {
+  if (state_ == WorkerState::kStarting) {
+    // Never activated: nothing to drain.
+    stop();
+    return;
+  }
+  if (state_ != WorkerState::kRunning) return;
+  state_ = WorkerState::kDraining;
+  cluster_.trace_log().record({cluster_.sim().now(),
+                               trace::EventKind::kWorkerDraining, topology_,
+                               node_id(), slot_, version_, {}});
+  // A draining worker must not originate new root tuples.
+  for (auto& ex : executors_) {
+    ex->pause_spout_until(std::numeric_limits<sim::Time>::max());
+  }
+  pending_event_ =
+      cluster_.sim().schedule_after(delay, [this] { stop(); });
+}
+
+void Worker::stop() {
+  if (state_ == WorkerState::kDead) return;
+  if (pending_event_ != sim::kInvalidEvent) {
+    cluster_.sim().cancel(pending_event_);
+    pending_event_ = sim::kInvalidEvent;
+  }
+  const bool was_active = state_ == WorkerState::kRunning ||
+                          state_ == WorkerState::kDraining;
+  for (auto& ex : executors_) ex->shutdown();
+  executors_.clear();
+  if (was_active) {
+    cluster_.node(node_id()).worker_finished();
+    cluster_.trace_log().record({cluster_.sim().now(),
+                                 trace::EventKind::kWorkerStopped, topology_,
+                                 node_id(), slot_, version_, {}});
+  }
+  state_ = WorkerState::kDead;
+}
+
+void Worker::update_version(sched::AssignmentVersion version) {
+  version_ = version;
+}
+
+}  // namespace tstorm::runtime

@@ -1,0 +1,73 @@
+// Worker: one worker process (a JVM in Storm) bound to a slot, executing
+// the executors of exactly one topology. Carries the assignment version it
+// was created under — T-Storm's dispatcher routes in-flight tuples between
+// coexisting old and new workers by this version (paper section IV-D).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/executor.h"
+#include "runtime/task.h"
+#include "sim/simulation.h"
+
+namespace tstorm::runtime {
+
+class Cluster;
+
+enum class WorkerState { kStarting, kRunning, kDraining, kDead };
+
+const char* to_string(WorkerState s);
+
+class Worker {
+ public:
+  /// `tasks` must be sorted. The worker does not start until start() runs.
+  Worker(Cluster& cluster, sched::TopologyId topology, sched::SlotIndex slot,
+         sched::AssignmentVersion version, std::vector<sched::TaskId> tasks);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Schedules activation after `delay` (JVM spawn time). If
+  /// `spout_halt_delay` > 0, spout executors stay paused for that long
+  /// after activation (T-Storm smoothing).
+  void start(sim::Time delay, sim::Time spout_halt_delay = 0);
+
+  /// Keeps processing for `delay`, then stops (T-Storm delayed shutdown).
+  void drain_then_stop(sim::Time delay);
+
+  /// Stops immediately: executors shut down, queued tuples are lost.
+  void stop();
+
+  /// Adopts a newer assignment version without restarting (the worker's
+  /// task set is unchanged by the new assignment).
+  void update_version(sched::AssignmentVersion version);
+
+  [[nodiscard]] WorkerState state() const { return state_; }
+  [[nodiscard]] sched::TopologyId topology() const { return topology_; }
+  [[nodiscard]] sched::SlotIndex slot() const { return slot_; }
+  [[nodiscard]] sched::NodeId node_id() const;
+  [[nodiscard]] sched::AssignmentVersion version() const { return version_; }
+  [[nodiscard]] const std::vector<sched::TaskId>& tasks() const {
+    return tasks_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Executor>>& executors()
+      const {
+    return executors_;
+  }
+
+ private:
+  void activate(sim::Time spout_halt_delay);
+
+  Cluster& cluster_;
+  sched::TopologyId topology_;
+  sched::SlotIndex slot_;
+  sched::AssignmentVersion version_;
+  std::vector<sched::TaskId> tasks_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+  WorkerState state_ = WorkerState::kStarting;
+  sim::EventId pending_event_ = sim::kInvalidEvent;
+};
+
+}  // namespace tstorm::runtime

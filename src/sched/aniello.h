@@ -1,0 +1,29 @@
+// Re-implementations of the two schedulers from the closest related work,
+// Aniello, Baldoni and Querzoni, "Adaptive online scheduling in Storm"
+// (ACM DEBS 2013), which the paper compares against in sections III and V.
+//
+// Both are two-phase: executors -> workers, then workers -> slots. The
+// offline variant only sees the topology graph (it is "oblivious with
+// respect to runtime workload"); the online variant uses measured
+// inter-executor traffic. Unlike Algorithm 1, neither derives the worker
+// count (they honour the user's Nu) nor enforces the one-slot-per-node
+// invariant, so inter-process traffic can remain after scheduling.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace tstorm::sched {
+
+class AnielloOfflineScheduler final : public ISchedulingAlgorithm {
+ public:
+  ScheduleResult schedule(const SchedulerInput& input) override;
+  [[nodiscard]] std::string name() const override { return "aniello-offline"; }
+};
+
+class AnielloOnlineScheduler final : public ISchedulingAlgorithm {
+ public:
+  ScheduleResult schedule(const SchedulerInput& input) override;
+  [[nodiscard]] std::string name() const override { return "aniello-online"; }
+};
+
+}  // namespace tstorm::sched

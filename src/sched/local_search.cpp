@@ -1,0 +1,216 @@
+#include "sched/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sched/traffic_aware.h"
+
+namespace tstorm::sched {
+namespace {
+
+struct State {
+  // Inputs, indexed for O(1) access.
+  std::unordered_map<TaskId, const ExecutorSpec*> executors;
+  std::unordered_map<TaskId, std::vector<std::pair<TaskId, double>>> adj;
+  std::unordered_map<SlotIndex, NodeId> slot_node;
+  std::unordered_map<NodeId, std::vector<SlotIndex>> node_slots;
+  std::unordered_set<SlotIndex> blocked;
+
+  // Mutable placement state.
+  Placement placement;
+  std::unordered_map<SlotIndex, TopologyId> slot_owner;  // -1 none
+  std::unordered_map<SlotIndex, int> slot_count;
+  std::unordered_map<NodeId, double> node_load;
+  std::unordered_map<NodeId, int> node_count;
+  // (topology, node) -> slot used there.
+  std::unordered_map<long long, SlotIndex> topo_slot;
+
+  static long long key(TopologyId t, NodeId n) {
+    return (static_cast<long long>(t) << 32) |
+           static_cast<unsigned int>(n);
+  }
+
+  /// Traffic between executor e and executors currently on `node`
+  /// (excluding e itself).
+  double local_traffic(TaskId e, NodeId node) const {
+    double total = 0;
+    auto it = adj.find(e);
+    if (it == adj.end()) return 0;
+    for (const auto& [peer, rate] : it->second) {
+      if (peer == e) continue;
+      auto p = placement.find(peer);
+      if (p == placement.end()) continue;
+      if (slot_node.at(p->second) == node) total += rate;
+    }
+    return total;
+  }
+
+  void remove(TaskId e) {
+    const SlotIndex slot = placement.at(e);
+    const NodeId node = slot_node.at(slot);
+    const TopologyId topo = executors.at(e)->topology;
+    placement.erase(e);
+    node_load[node] -= executors.at(e)->load_mhz;
+    node_count[node] -= 1;
+    if (--slot_count[slot] == 0) {
+      slot_owner.erase(slot);
+      topo_slot.erase(key(topo, node));
+    }
+  }
+
+  void place(TaskId e, SlotIndex slot) {
+    const NodeId node = slot_node.at(slot);
+    const TopologyId topo = executors.at(e)->topology;
+    placement[e] = slot;
+    node_load[node] += executors.at(e)->load_mhz;
+    node_count[node] += 1;
+    slot_count[slot] += 1;
+    slot_owner[slot] = topo;
+    topo_slot[key(topo, node)] = slot;
+  }
+};
+
+}  // namespace
+
+ScheduleResult LocalSearchScheduler::schedule(const SchedulerInput& in) {
+  // Seed with Algorithm 1.
+  TrafficAwareScheduler greedy;
+  ScheduleResult result = greedy.schedule(in);
+  if (result.assignment.size() != in.executors.size()) return result;
+
+  State st;
+  for (const auto& e : in.executors) {
+    st.executors.emplace(e.task, &e);
+    st.adj[e.task];
+  }
+  for (const auto& t : in.traffic) {
+    if (t.rate <= 0) continue;
+    if (!st.executors.contains(t.src) || !st.executors.contains(t.dst)) {
+      continue;
+    }
+    st.adj[t.src].emplace_back(t.dst, t.rate);
+    st.adj[t.dst].emplace_back(t.src, t.rate);
+  }
+  for (const auto& s : in.slots) {
+    st.slot_node.emplace(s.slot, s.node);
+    st.node_slots[s.node].push_back(s.slot);
+  }
+  st.blocked.insert(in.occupied_slots.begin(), in.occupied_slots.end());
+  st.placement = result.assignment;
+  for (const auto& [task, slot] : st.placement) {
+    const NodeId node = st.slot_node.at(slot);
+    const TopologyId topo = st.executors.at(task)->topology;
+    st.node_load[node] += st.executors.at(task)->load_mhz;
+    st.node_count[node] += 1;
+    st.slot_count[slot] += 1;
+    st.slot_owner[slot] = topo;
+    st.topo_slot[State::key(topo, node)] = slot;
+  }
+
+  const double ne = static_cast<double>(in.executors.size());
+  const double kk = static_cast<double>(st.node_slots.size());
+  const int count_limit = std::max(
+      1, static_cast<int>(std::ceil(in.gamma * ne / std::max(1.0, kk) -
+                                    1e-9)));
+  const auto capacity = [&](NodeId k) {
+    return k >= 0 && k < static_cast<NodeId>(in.node_capacity_mhz.size())
+               ? in.node_capacity_mhz[static_cast<std::size_t>(k)]
+               : std::numeric_limits<double>::infinity();
+  };
+
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    double pass_gain = 0;
+    for (const auto& e : in.executors) {
+      const SlotIndex cur_slot = st.placement.at(e.task);
+      const NodeId cur_node = st.slot_node.at(cur_slot);
+      const double cur_local = st.local_traffic(e.task, cur_node);
+
+      // Find the best alternative node.
+      NodeId best_node = -1;
+      SlotIndex best_slot = kUnassigned;
+      double best_gain = 0;
+      for (const auto& [node, slots] : st.node_slots) {
+        if (node == cur_node) continue;
+        // Feasible slot on this node for e's topology.
+        SlotIndex target = kUnassigned;
+        auto lock = st.topo_slot.find(State::key(e.topology, node));
+        if (lock != st.topo_slot.end()) {
+          target = lock->second;
+        } else {
+          for (SlotIndex s : slots) {
+            if (st.blocked.contains(s)) continue;
+            if (!st.slot_owner.contains(s)) {
+              target = s;
+              break;
+            }
+          }
+        }
+        if (target == kUnassigned) continue;
+        if (st.node_load[node] + e.load_mhz > capacity(node)) continue;
+        if (st.node_count[node] + 1 > count_limit) continue;
+        const double gain =
+            st.local_traffic(e.task, node) - cur_local;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_node = node;
+          best_slot = target;
+        }
+      }
+      if (best_node >= 0) {
+        st.remove(e.task);
+        // Re-resolve the target slot: removing e may have freed its old
+        // slot but cannot invalidate the chosen one.
+        st.place(e.task, best_slot);
+        pass_gain += best_gain;
+      }
+    }
+
+    // Swap pass: when nodes sit at the count limit, single moves are
+    // infeasible but exchanging two same-topology executors is not.
+    for (std::size_t i = 0; i < in.executors.size(); ++i) {
+      const auto& e = in.executors[i];
+      for (std::size_t j = i + 1; j < in.executors.size(); ++j) {
+        const auto& f = in.executors[j];
+        if (e.topology != f.topology) continue;
+        const SlotIndex se = st.placement.at(e.task);
+        const SlotIndex sf = st.placement.at(f.task);
+        const NodeId na = st.slot_node.at(se);
+        const NodeId nb = st.slot_node.at(sf);
+        if (na == nb) continue;
+        // Direct traffic between the pair stays inter-node either way.
+        double r_ef = 0;
+        for (const auto& [peer, rate] : st.adj.at(e.task)) {
+          if (peer == f.task) r_ef += rate;
+        }
+        const double gain = st.local_traffic(e.task, nb) +
+                            st.local_traffic(f.task, na) -
+                            st.local_traffic(e.task, na) -
+                            st.local_traffic(f.task, nb) - 2.0 * r_ef;
+        if (gain <= 1e-9) continue;
+        // Capacity after the exchange (counts are unchanged).
+        if (st.node_load[na] - e.load_mhz + f.load_mhz > capacity(na)) {
+          continue;
+        }
+        if (st.node_load[nb] - f.load_mhz + e.load_mhz > capacity(nb)) {
+          continue;
+        }
+        st.remove(e.task);
+        st.remove(f.task);
+        st.place(e.task, sf);
+        st.place(f.task, se);
+        pass_gain += gain;
+      }
+    }
+
+    const double total = internode_traffic(in, st.placement);
+    if (pass_gain <= options_.min_gain * std::max(1.0, total)) break;
+  }
+
+  result.assignment = st.placement;
+  return result;
+}
+
+}  // namespace tstorm::sched

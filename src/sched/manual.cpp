@@ -1,0 +1,27 @@
+#include "sched/manual.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace tstorm::sched {
+
+ScheduleResult ManualScheduler::schedule(const SchedulerInput& in) {
+  ScheduleResult result;
+  std::set<SlotIndex> used;
+  for (const auto& [task, slot] : placement_) used.insert(slot);
+  const std::vector<SlotIndex> ring(used.begin(), used.end());
+
+  std::size_t next = 0;
+  for (const auto& e : in.executors) {
+    auto it = placement_.find(e.task);
+    if (it != placement_.end()) {
+      result.assignment[e.task] = it->second;
+    } else if (!ring.empty()) {
+      result.assignment[e.task] = ring[next++ % ring.size()];
+    }
+  }
+  return result;
+}
+
+}  // namespace tstorm::sched

@@ -1,0 +1,27 @@
+// ManualScheduler: a pinned executor-to-slot placement. Used to reproduce
+// the paper's Section III experiments (n1w1 / n5w5 / n5w10 in Fig. 2, the
+// deliberately overloaded node in Fig. 3) and to pin topologies to one
+// worker for the overload-handling experiments (Figs. 9 and 10).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace tstorm::sched {
+
+class ManualScheduler final : public ISchedulingAlgorithm {
+ public:
+  /// `placement` maps every task that should be placed to its slot. Tasks
+  /// missing from the map are assigned round-robin over the placement's
+  /// distinct slots (convenient for ackers).
+  explicit ManualScheduler(Placement placement)
+      : placement_(std::move(placement)) {}
+
+  ScheduleResult schedule(const SchedulerInput& input) override;
+
+  [[nodiscard]] std::string name() const override { return "manual"; }
+
+ private:
+  Placement placement_;
+};
+
+}  // namespace tstorm::sched

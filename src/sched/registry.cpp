@@ -1,0 +1,68 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+#include "sched/aniello.h"
+#include "sched/local_search.h"
+#include "sched/round_robin.h"
+#include "sched/traffic_aware.h"
+
+namespace tstorm::sched {
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry registry;
+  static const bool builtins_registered = [] {
+    registry.register_algorithm("traffic-aware", [] {
+      return std::unique_ptr<ISchedulingAlgorithm>(
+          new TrafficAwareScheduler());
+    });
+    registry.register_algorithm("round-robin", [] {
+      return std::unique_ptr<ISchedulingAlgorithm>(new RoundRobinScheduler());
+    });
+    registry.register_algorithm("tstorm-initial", [] {
+      return std::unique_ptr<ISchedulingAlgorithm>(
+          new TStormInitialScheduler());
+    });
+    registry.register_algorithm("aniello-offline", [] {
+      return std::unique_ptr<ISchedulingAlgorithm>(
+          new AnielloOfflineScheduler());
+    });
+    registry.register_algorithm("aniello-online", [] {
+      return std::unique_ptr<ISchedulingAlgorithm>(
+          new AnielloOnlineScheduler());
+    });
+    registry.register_algorithm("local-search", [] {
+      return std::unique_ptr<ISchedulingAlgorithm>(
+          new LocalSearchScheduler());
+    });
+    return true;
+  }();
+  (void)builtins_registered;
+  return registry;
+}
+
+bool AlgorithmRegistry::register_algorithm(const std::string& name,
+                                           Factory factory) {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return false;
+  }
+  factories_.emplace_back(name, std::move(factory));
+  return true;
+}
+
+std::unique_ptr<ISchedulingAlgorithm> AlgorithmRegistry::create(
+    const std::string& name) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return f();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+}  // namespace tstorm::sched

@@ -1,0 +1,32 @@
+// Storm's default scheduler and T-Storm's modified initial scheduler.
+//
+// Default (Storm 0.8.2 EvenScheduler): executors are dealt round-robin into
+// the Nu workers the user configured, and those workers are spread evenly
+// across the cluster's free slots, interleaving nodes — which is why stock
+// Storm always uses every available worker node regardless of workload
+// (paper section III).
+//
+// T-Storm initial (section IV-C): before any runtime load information
+// exists, T-Storm assigns almost like the default scheduler but first caps
+// the worker count at N*w = min(Nu, Nw) where Nw is the number of nodes
+// with a free slot, and gives each worker its own node — guaranteeing that
+// a topology occupies at most one slot per node from the start.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace tstorm::sched {
+
+class RoundRobinScheduler final : public ISchedulingAlgorithm {
+ public:
+  ScheduleResult schedule(const SchedulerInput& input) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+};
+
+class TStormInitialScheduler final : public ISchedulingAlgorithm {
+ public:
+  ScheduleResult schedule(const SchedulerInput& input) override;
+  [[nodiscard]] std::string name() const override { return "tstorm-initial"; }
+};
+
+}  // namespace tstorm::sched

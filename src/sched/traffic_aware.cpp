@@ -1,0 +1,186 @@
+#include "sched/traffic_aware.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace tstorm::sched {
+namespace {
+
+struct NodeState {
+  double load = 0;
+  int count = 0;
+  /// topology -> slot locked for it on this node (constraint 1).
+  std::unordered_map<TopologyId, SlotIndex> topo_slot;
+};
+
+struct SlotState {
+  NodeId node = -1;
+  /// Topology owning this slot, or -1 if free. A slot hosts one worker, a
+  /// worker belongs to one topology.
+  TopologyId owner = -1;
+  bool blocked = false;  // occupied by a topology outside this run
+};
+
+}  // namespace
+
+ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
+  ScheduleResult result;
+  if (in.executors.empty()) return result;
+
+  // --- Build adjacency (incoming + outgoing rates per executor). ---
+  std::unordered_map<TaskId, std::vector<std::pair<TaskId, double>>> adj;
+  std::unordered_map<TaskId, double> total_traffic;
+  adj.reserve(in.executors.size());
+  for (const auto& e : in.executors) {
+    adj[e.task];
+    total_traffic[e.task] = 0;
+  }
+  for (const auto& t : in.traffic) {
+    if (t.rate <= 0) continue;
+    if (!adj.contains(t.src) || !adj.contains(t.dst)) continue;
+    adj[t.src].emplace_back(t.dst, t.rate);
+    adj[t.dst].emplace_back(t.src, t.rate);
+    total_traffic[t.src] += t.rate;
+    total_traffic[t.dst] += t.rate;
+  }
+
+  // --- Line 2: sort executors by descending total traffic. ---
+  std::vector<const ExecutorSpec*> order;
+  order.reserve(in.executors.size());
+  for (const auto& e : in.executors) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [&](const ExecutorSpec* a, const ExecutorSpec* b) {
+              const double ta = total_traffic[a->task];
+              const double tb = total_traffic[b->task];
+              if (ta != tb) return ta > tb;
+              return a->task < b->task;  // deterministic tie-break
+            });
+
+  // --- Slot / node state. ---
+  std::unordered_map<SlotIndex, SlotState> slots;
+  NodeId max_node = -1;
+  for (const auto& s : in.slots) {
+    slots[s.slot] = SlotState{s.node, -1, false};
+    max_node = std::max(max_node, s.node);
+  }
+  for (SlotIndex blocked : in.occupied_slots) {
+    auto it = slots.find(blocked);
+    if (it != slots.end()) it->second.blocked = true;
+  }
+  std::vector<NodeState> nodes(static_cast<std::size_t>(max_node) + 1);
+
+  const auto capacity = [&](NodeId k) -> double {
+    if (k >= 0 && k < static_cast<NodeId>(in.node_capacity_mhz.size())) {
+      return in.node_capacity_mhz[static_cast<std::size_t>(k)];
+    }
+    return std::numeric_limits<double>::infinity();
+  };
+
+  const double ne = static_cast<double>(in.executors.size());
+  const double kk = static_cast<double>(max_node + 1);
+  const int count_limit = std::max(
+      1, static_cast<int>(std::ceil(in.gamma * ne / kk - 1e-9)));
+
+  // Assigned executors grouped by node, for incremental-traffic costs.
+  std::unordered_map<TaskId, NodeId> task_node;
+
+  // --- Line 3-7: greedy assignment. ---
+  for (const ExecutorSpec* e : order) {
+    // Traffic from e to executors already assigned, grouped by node.
+    std::unordered_map<NodeId, double> traffic_on_node;
+    double assigned_traffic = 0;
+    for (const auto& [peer, rate] : adj[e->task]) {
+      auto it = task_node.find(peer);
+      if (it == task_node.end()) continue;
+      traffic_on_node[it->second] += rate;
+      assigned_traffic += rate;
+    }
+
+    // Three passes: full constraints, then count relaxed, then capacity
+    // relaxed. Constraint (1) always holds.
+    SlotIndex best = kUnassigned;
+    for (int pass = 0; pass < (options_.allow_relaxation ? 3 : 1); ++pass) {
+      const bool enforce_count = pass == 0;
+      const bool enforce_capacity = pass <= 1;
+      double best_cost = std::numeric_limits<double>::infinity();
+      double best_load = std::numeric_limits<double>::infinity();
+      int best_count = -1;
+
+      for (const auto& s : in.slots) {
+        const SlotState& st = slots[s.slot];
+        if (st.blocked) continue;
+        const NodeId k = st.node;
+        NodeState& nst = nodes[static_cast<std::size_t>(k)];
+
+        // Constraint (1): if the topology already has a slot on this node,
+        // only that slot is eligible; and a slot owned by another topology
+        // is never eligible.
+        auto lock = nst.topo_slot.find(e->topology);
+        if (lock != nst.topo_slot.end() && lock->second != s.slot) continue;
+        if (st.owner != -1 && st.owner != e->topology) continue;
+
+        if (enforce_capacity && nst.load + e->load_mhz > capacity(k)) {
+          continue;
+        }
+        if (enforce_count && nst.count + 1 > count_limit) continue;
+
+        // Line 5: incremental inter-node traffic of placing e on node k.
+        double cost = assigned_traffic;
+        auto tn = traffic_on_node.find(k);
+        if (tn != traffic_on_node.end()) cost -= tn->second;
+
+        // Tie-breaks: prefer fuller nodes (consolidation — this is what
+        // lets a large gamma pack a light topology onto few nodes, Fig.
+        // 5(c)), then lower load in the capacity-relaxed pass, then lower
+        // slot index (determinism). Like the paper's Algorithm 1, ties are
+        // resolved greedily, which is not optimal for partitioning
+        // disjoint chains (see ChainPartitioningIsGreedy test).
+        bool better = false;
+        if (cost < best_cost - 1e-12) {
+          better = true;
+        } else if (cost < best_cost + 1e-12) {
+          if (!enforce_capacity) {
+            better = nst.load < best_load;
+          } else {
+            better = nst.count > best_count ||
+                     (nst.count == best_count && s.slot < best);
+          }
+        }
+        if (better) {
+          best = s.slot;
+          best_cost = cost;
+          best_load = nst.load;
+          best_count = nst.count;
+        }
+      }
+
+      if (best != kUnassigned) {
+        if (pass >= 1) result.count_relaxed = true;
+        if (pass >= 2) result.capacity_relaxed = true;
+        break;
+      }
+    }
+
+    if (best == kUnassigned) {
+      // No slot at all (every slot owned by other topologies). Leave the
+      // executor unassigned; callers treat a partial placement as failure.
+      continue;
+    }
+
+    // Line 6: commit x_{i j*} = 1.
+    SlotState& st = slots[best];
+    NodeState& nst = nodes[static_cast<std::size_t>(st.node)];
+    st.owner = e->topology;
+    nst.topo_slot[e->topology] = best;
+    nst.load += e->load_mhz;
+    nst.count += 1;
+    task_node[e->task] = st.node;
+    result.assignment[e->task] = best;
+  }
+
+  return result;
+}
+
+}  // namespace tstorm::sched

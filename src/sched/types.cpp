@@ -1,0 +1,85 @@
+#include "sched/types.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace tstorm::sched {
+namespace {
+
+std::unordered_map<SlotIndex, NodeId> slot_to_node(const SchedulerInput& in) {
+  std::unordered_map<SlotIndex, NodeId> m;
+  m.reserve(in.slots.size());
+  for (const auto& s : in.slots) m.emplace(s.slot, s.node);
+  return m;
+}
+
+}  // namespace
+
+double internode_traffic(const SchedulerInput& in, const Placement& p) {
+  const auto s2n = slot_to_node(in);
+  double total = 0;
+  for (const auto& t : in.traffic) {
+    auto a = p.find(t.src);
+    auto b = p.find(t.dst);
+    if (a == p.end() || b == p.end()) continue;
+    auto na = s2n.find(a->second);
+    auto nb = s2n.find(b->second);
+    if (na == s2n.end() || nb == s2n.end()) continue;
+    if (na->second != nb->second) total += t.rate;
+  }
+  return total;
+}
+
+double interprocess_traffic(const SchedulerInput& in, const Placement& p) {
+  const auto s2n = slot_to_node(in);
+  double total = 0;
+  for (const auto& t : in.traffic) {
+    auto a = p.find(t.src);
+    auto b = p.find(t.dst);
+    if (a == p.end() || b == p.end()) continue;
+    if (a->second == b->second) continue;
+    auto na = s2n.find(a->second);
+    auto nb = s2n.find(b->second);
+    if (na == s2n.end() || nb == s2n.end()) continue;
+    if (na->second == nb->second) total += t.rate;
+  }
+  return total;
+}
+
+int nodes_used(const SchedulerInput& in, const Placement& p) {
+  const auto s2n = slot_to_node(in);
+  std::unordered_set<NodeId> nodes;
+  for (const auto& [task, slot] : p) {
+    auto it = s2n.find(slot);
+    if (it != s2n.end()) nodes.insert(it->second);
+  }
+  return static_cast<int>(nodes.size());
+}
+
+int slots_used(const Placement& p) {
+  std::unordered_set<SlotIndex> slots;
+  for (const auto& [task, slot] : p) slots.insert(slot);
+  return static_cast<int>(slots.size());
+}
+
+bool one_slot_per_topology_per_node(const SchedulerInput& in,
+                                    const Placement& p) {
+  const auto s2n = slot_to_node(in);
+  std::unordered_map<TaskId, TopologyId> topo_of;
+  for (const auto& e : in.executors) topo_of.emplace(e.task, e.topology);
+  // (topology, node) -> slot used there; any second distinct slot fails.
+  std::set<std::pair<TopologyId, NodeId>> seen_key;
+  std::unordered_map<long long, SlotIndex> used;
+  for (const auto& [task, slot] : p) {
+    auto ti = topo_of.find(task);
+    auto ni = s2n.find(slot);
+    if (ti == topo_of.end() || ni == s2n.end()) continue;
+    const long long key =
+        (static_cast<long long>(ti->second) << 32) | static_cast<unsigned int>(ni->second);
+    auto [it, inserted] = used.emplace(key, slot);
+    if (!inserted && it->second != slot) return false;
+  }
+  return true;
+}
+
+}  // namespace tstorm::sched

@@ -1,0 +1,106 @@
+// Scheduling problem types shared by every algorithm and by the runtime.
+// Matches the paper's notation (Table I): executors i with workloads l_i,
+// traffic r_ii', slots j on worker nodes k with capacities C_k, and the
+// consolidation factor gamma.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tstorm::sched {
+
+using TaskId = int;
+using NodeId = int;
+using SlotIndex = int;
+using TopologyId = int;
+
+/// Assignment versions are timestamps (T-Storm uses the assignment
+/// timestamp as its ID to tell old and new workers apart, section IV-D).
+using AssignmentVersion = std::int64_t;
+
+inline constexpr SlotIndex kUnassigned = -1;
+
+/// One executor (task) to place. In this system each executor runs exactly
+/// one task (Storm's default), so executor == task.
+struct ExecutorSpec {
+  TaskId task = -1;
+  TopologyId topology = -1;
+  /// Estimated workload l_i in MHz (EWMA of measured CPU usage).
+  double load_mhz = 0;
+};
+
+struct SlotSpec {
+  SlotIndex slot = -1;
+  NodeId node = -1;
+  /// Port index within the node (Storm slots are ports).
+  int port = 0;
+};
+
+struct TopologySpec {
+  TopologyId id = -1;
+  /// Workers requested by the user (Nu); only round-robin-style schedulers
+  /// honour it, Algorithm 1 derives the worker count itself (section IV-C).
+  int requested_workers = 1;
+};
+
+/// Estimated traffic r_{src,dst} in tuples/second between two executors.
+struct TrafficEntry {
+  TaskId src = -1;
+  TaskId dst = -1;
+  double rate = 0;
+};
+
+struct SchedulerInput {
+  std::vector<ExecutorSpec> executors;
+  std::vector<SlotSpec> slots;
+  std::vector<TopologySpec> topologies;
+  /// Scheduler-visible capacity C_k per node id; the runtime usually passes
+  /// a fraction of the physical capacity to keep overload improbable
+  /// (section IV-C).
+  std::vector<double> node_capacity_mhz;
+  std::vector<TrafficEntry> traffic;
+  /// Task-level edges of the topology graphs (every producer task to every
+  /// consumer task). Input for topology-structure-only schedulers
+  /// (Aniello et al.'s offline scheduler).
+  std::vector<std::pair<TaskId, TaskId>> topology_edges;
+  /// Slots unavailable to this run (used by topologies outside it).
+  std::vector<SlotIndex> occupied_slots;
+  /// Consolidation factor gamma (>= 1): caps executors per node at
+  /// ceil(gamma * Ne / K).
+  double gamma = 1.0;
+};
+
+using Placement = std::unordered_map<TaskId, SlotIndex>;
+
+struct ScheduleResult {
+  Placement assignment;
+  /// True when the gamma count constraint had to be relaxed to place all
+  /// executors.
+  bool count_relaxed = false;
+  /// True when the capacity constraint had to be relaxed.
+  bool capacity_relaxed = false;
+};
+
+/// Sum of traffic between executors placed on different nodes. The
+/// objective Algorithm 1 minimizes.
+double internode_traffic(const SchedulerInput& in, const Placement& p);
+
+/// Sum of traffic between executors on the same node but different slots
+/// (workers). Algorithm 1's per-topology one-slot-per-node invariant forces
+/// this to zero for co-scheduled topologies.
+double interprocess_traffic(const SchedulerInput& in, const Placement& p);
+
+/// Number of distinct nodes hosting at least one executor.
+int nodes_used(const SchedulerInput& in, const Placement& p);
+
+/// Number of distinct slots (workers) used.
+int slots_used(const Placement& p);
+
+/// Checks Algorithm 1's structural invariant: each topology uses at most
+/// one slot per node. Returns true when the invariant holds.
+bool one_slot_per_topology_per_node(const SchedulerInput& in,
+                                    const Placement& p);
+
+}  // namespace tstorm::sched

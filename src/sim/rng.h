@@ -1,0 +1,54 @@
+// Deterministic random number generation (xoshiro256**) with the
+// distributions the workload generators and network model need. Every
+// simulation owns one root Rng; substreams are derived with fork() so module
+// insertion order does not perturb other modules' draws.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tstorm::sim {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller (no caching, keeps the stream simple).
+  double normal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Poisson-distributed count (Knuth for small means, normal approx above).
+  std::uint64_t poisson(double mean);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (word frequency model).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string random_string(std::size_t length);
+
+  /// Derives an independent substream; advances this stream by one draw.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tstorm::sim

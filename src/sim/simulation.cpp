@@ -1,0 +1,107 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tstorm::sim {
+
+EventId Simulation::schedule_at(Time t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Entry{std::max(t, now_), id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+EventId Simulation::schedule_after(Time dt, std::function<void()> fn) {
+  assert(dt >= 0);
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Lazy cancellation: remember the id and skip it when popped.
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted && live_ > 0) --live_;
+  return inserted;
+}
+
+bool Simulation::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; we move out after the pop decision.
+    Entry e = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool Simulation::step() {
+  if (stopped_) return false;
+  Entry e;
+  if (!pop_next(e)) return false;
+  --live_;
+  now_ = e.t;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulation::run_until(Time t) {
+  std::size_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    Entry e;
+    if (!pop_next(e)) break;
+    if (e.t > t) {
+      // Put it back untouched; it stays pending beyond the horizon.
+      queue_.push(std::move(e));
+      break;
+    }
+    --live_;
+    now_ = e.t;
+    ++executed_;
+    ++n;
+    e.fn();
+  }
+  now_ = std::max(now_, t);
+  return n;
+}
+
+PeriodicTask::PeriodicTask(Simulation& sim, Time period,
+                           std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  assert(period_ > 0);
+}
+
+void PeriodicTask::start(Time first_delay) {
+  stop();
+  pending_ = sim_.schedule_after(first_delay, [this] { tick(); });
+}
+
+void PeriodicTask::stop() {
+  if (pending_ != kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+}
+
+void PeriodicTask::tick() {
+  // Re-arm first so fn_ may call stop()/set_period() and observe a
+  // consistent state.
+  pending_ = sim_.schedule_after(period_, [this] { tick(); });
+  fn_();
+}
+
+}  // namespace tstorm::sim

@@ -1,0 +1,136 @@
+// Discrete-event simulation engine: a single-threaded event loop over
+// simulated time. All T-Storm substrates (network, executors, daemons)
+// schedule work here; determinism is guaranteed by (time, sequence) ordering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace tstorm::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Handle to a scheduled event; usable with Simulation::cancel().
+using EventId = std::uint64_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId kInvalidEvent = 0;
+
+/// A deterministic discrete-event simulator.
+///
+/// Events scheduled at equal times execute in scheduling order, which makes
+/// every run bit-for-bit reproducible given the same inputs and RNG seed.
+/// The class is not thread-safe; the whole simulation is single-threaded by
+/// design (simulated concurrency, real determinism).
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`. Times in the past are clamped to
+  /// now() (the event still runs, immediately after pending ones).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay `dt >= 0`.
+  EventId schedule_after(Time dt, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet run. Cancelling an already-executed or invalid id is a no-op.
+  bool cancel(EventId id);
+
+  /// Executes the next pending event. Returns false if none remain or the
+  /// simulation was stopped.
+  bool step();
+
+  /// Runs until no events remain or stop() is called. Returns the number of
+  /// events executed by this call.
+  std::size_t run();
+
+  /// Runs all events with timestamp <= `t`, then sets the clock to `t`.
+  /// Returns the number of events executed by this call.
+  std::size_t run_until(Time t);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Clears the stop flag so the simulation can be resumed.
+  void clear_stop() { stopped_ = false; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Number of events executed so far over the simulation's lifetime.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of scheduled events not yet executed or cancelled.
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+ private:
+  struct Entry {
+    Time t = 0;
+    EventId id = kInvalidEvent;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  // Pops cancelled entries off the top; returns false when queue is empty.
+  bool pop_next(Entry& out);
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Repeatedly runs a callback at a fixed period. Models the daemon loops in
+/// Storm/T-Storm (supervisor sync, load monitor sampling, schedule
+/// generation/fetch). The period can be changed on the fly ("adjustment of
+/// scheduling parameters on the fly", paper section IV-A).
+class PeriodicTask {
+ public:
+  /// Does not start automatically; call start().
+  PeriodicTask(Simulation& sim, Time period, std::function<void()> fn);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Schedules the first tick `first_delay` from now, then every period().
+  void start(Time first_delay = 0);
+
+  /// Cancels any pending tick.
+  void stop();
+
+  [[nodiscard]] bool running() const { return pending_ != kInvalidEvent; }
+
+  [[nodiscard]] Time period() const { return period_; }
+
+  /// Takes effect from the next tick onward.
+  void set_period(Time period) { period_ = period; }
+
+ private:
+  void tick();
+
+  Simulation& sim_;
+  Time period_;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEvent;
+};
+
+}  // namespace tstorm::sim

@@ -1,0 +1,210 @@
+#include "topo/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tstorm::topo {
+
+SpoutDecl& SpoutDecl::output_fields(std::vector<std::string> fields) {
+  def_.output_fields = std::move(fields);
+  return *this;
+}
+
+SpoutDecl& SpoutDecl::emit_interval(double seconds) {
+  if (seconds < 0) throw TopologyError("emit_interval must be >= 0");
+  def_.emit_interval = seconds;
+  return *this;
+}
+
+SpoutDecl& SpoutDecl::max_pending(int n) {
+  if (n < 0) throw TopologyError("max_pending must be >= 0");
+  def_.max_pending = n;
+  return *this;
+}
+
+BoltDecl& BoltDecl::output_fields(std::vector<std::string> fields) {
+  def_.output_fields = std::move(fields);
+  return *this;
+}
+
+BoltDecl& BoltDecl::shuffle_grouping(const std::string& source) {
+  def_.inputs.push_back({source, GroupingType::kShuffle, {}, -1});
+  return *this;
+}
+
+BoltDecl& BoltDecl::fields_grouping(const std::string& source,
+                                    const std::string& field) {
+  // The field index is resolved against the source during build().
+  def_.inputs.push_back({source, GroupingType::kFields, field, -1});
+  return *this;
+}
+
+BoltDecl& BoltDecl::all_grouping(const std::string& source) {
+  def_.inputs.push_back({source, GroupingType::kAll, {}, -1});
+  return *this;
+}
+
+BoltDecl& BoltDecl::global_grouping(const std::string& source) {
+  def_.inputs.push_back({source, GroupingType::kGlobal, {}, -1});
+  return *this;
+}
+
+BoltDecl& BoltDecl::direct_grouping(const std::string& source) {
+  def_.inputs.push_back({source, GroupingType::kDirect, {}, -1});
+  return *this;
+}
+
+BoltDecl& BoltDecl::tick_interval(double seconds) {
+  if (seconds < 0) throw TopologyError("tick_interval must be >= 0");
+  def_.tick_interval = seconds;
+  return *this;
+}
+
+SpoutDecl TopologyBuilder::set_spout(
+    const std::string& name, std::function<std::unique_ptr<Spout>()> factory,
+    int parallelism) {
+  ComponentDef def;
+  def.name = name;
+  def.kind = ComponentKind::kSpout;
+  def.parallelism = parallelism;
+  def.spout_factory = std::move(factory);
+  components_.push_back(std::move(def));
+  return SpoutDecl(components_.back());
+}
+
+BoltDecl TopologyBuilder::set_bolt(
+    const std::string& name, std::function<std::unique_ptr<Bolt>()> factory,
+    int parallelism) {
+  ComponentDef def;
+  def.name = name;
+  def.kind = ComponentKind::kBolt;
+  def.parallelism = parallelism;
+  def.bolt_factory = std::move(factory);
+  components_.push_back(std::move(def));
+  return BoltDecl(components_.back());
+}
+
+Topology TopologyBuilder::build(const std::string& name, int num_workers,
+                                int num_ackers) const {
+  if (num_workers < 1) throw TopologyError("num_workers must be >= 1");
+  if (num_ackers < 0) throw TopologyError("num_ackers must be >= 0");
+
+  Topology t;
+  t.name_ = name;
+  t.num_workers_ = num_workers;
+  t.num_ackers_ = num_ackers;
+  t.components_ = components_;
+
+  // Resolve fields-grouping field names to indices against each source's
+  // declared output fields.
+  std::unordered_map<std::string, const ComponentDef*> sources;
+  for (const auto& c : t.components_) sources.emplace(c.name, &c);
+  for (auto& c : t.components_) {
+    for (auto& sub : c.inputs) {
+      if (sub.grouping != GroupingType::kFields) continue;
+      auto it = sources.find(sub.source);
+      if (it == sources.end()) continue;  // validate() reports this
+      const auto& fields = it->second->output_fields;
+      const auto pos = std::find(fields.begin(), fields.end(), sub.field_name);
+      sub.field_index =
+          pos == fields.end() ? -1 : static_cast<int>(pos - fields.begin());
+    }
+  }
+
+  if (num_ackers > 0) {
+    ComponentDef acker;
+    acker.name = kAckerComponent;
+    acker.kind = ComponentKind::kAcker;
+    acker.parallelism = num_ackers;
+    t.components_.push_back(std::move(acker));
+  }
+
+  validate(t);
+  return t;
+}
+
+void TopologyBuilder::validate(const Topology& t) const {
+  std::unordered_map<std::string, const ComponentDef*> by_name;
+  bool has_spout = false;
+  for (const auto& c : t.components()) {
+    if (c.name.empty()) throw TopologyError("component with empty name");
+    if (!by_name.emplace(c.name, &c).second) {
+      throw TopologyError("duplicate component: " + c.name);
+    }
+    if (c.parallelism < 1) {
+      throw TopologyError("parallelism must be >= 1 for " + c.name);
+    }
+    switch (c.kind) {
+      case ComponentKind::kSpout:
+        has_spout = true;
+        if (!c.spout_factory) {
+          throw TopologyError("spout " + c.name + " has no factory");
+        }
+        if (!c.inputs.empty()) {
+          throw TopologyError("spout " + c.name + " cannot subscribe");
+        }
+        break;
+      case ComponentKind::kBolt:
+        if (!c.bolt_factory) {
+          throw TopologyError("bolt " + c.name + " has no factory");
+        }
+        if (c.inputs.empty()) {
+          throw TopologyError("bolt " + c.name + " has no inputs");
+        }
+        break;
+      case ComponentKind::kAcker:
+        break;
+    }
+  }
+  if (!has_spout) throw TopologyError("topology has no spout");
+
+  for (const auto& c : t.components()) {
+    for (const auto& sub : c.inputs) {
+      auto it = by_name.find(sub.source);
+      if (it == by_name.end()) {
+        throw TopologyError("bolt " + c.name + " subscribes to unknown " +
+                            sub.source);
+      }
+      if (sub.grouping == GroupingType::kFields) {
+        const auto& fields = it->second->output_fields;
+        if (sub.field_index < 0 ||
+            sub.field_index >= static_cast<int>(fields.size())) {
+          throw TopologyError("bolt " + c.name +
+                              ": fields grouping references an unknown "
+                              "field of " +
+                              sub.source);
+        }
+      }
+    }
+  }
+
+  // Reject cycles: topologies are DAGs. Kahn's algorithm over data edges.
+  std::unordered_map<std::string, int> indegree;
+  std::unordered_map<std::string, std::vector<std::string>> out_edges;
+  for (const auto& c : t.components()) indegree[c.name] = 0;
+  for (const auto& c : t.components()) {
+    for (const auto& sub : c.inputs) {
+      out_edges[sub.source].push_back(c.name);
+      ++indegree[c.name];
+    }
+  }
+  std::vector<std::string> frontier;
+  for (const auto& [n, d] : indegree) {
+    if (d == 0) frontier.push_back(n);
+  }
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    const std::string n = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (const auto& m : out_edges[n]) {
+      if (--indegree[m] == 0) frontier.push_back(m);
+    }
+  }
+  if (visited != t.components().size()) {
+    throw TopologyError("topology contains a cycle");
+  }
+}
+
+}  // namespace tstorm::topo

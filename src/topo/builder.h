@@ -1,0 +1,86 @@
+// TopologyBuilder: fluent construction API mirroring Storm's
+// TopologyBuilder (setSpout / setBolt / *Grouping), plus validation.
+//
+//   TopologyBuilder b;
+//   b.set_spout("reader", [] { return std::make_unique<ReaderSpout>(); }, 2)
+//       .output_fields({"line"})
+//       .emit_interval(0.005);
+//   b.set_bolt("split", [] { return std::make_unique<SplitBolt>(); }, 5)
+//       .output_fields({"word"})
+//       .shuffle_grouping("reader");
+//   b.set_bolt("count", [] { return std::make_unique<CountBolt>(); }, 5)
+//       .fields_grouping("split", "word");
+//   Topology t = b.build("word-count", /*num_workers=*/20, /*num_ackers=*/10);
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace tstorm::topo {
+
+class TopologyBuilder;
+
+/// Fluent handle returned by set_spout(); configures one spout.
+class SpoutDecl {
+ public:
+  SpoutDecl& output_fields(std::vector<std::string> fields);
+  /// Rate-control sleep between emissions (seconds).
+  SpoutDecl& emit_interval(double seconds);
+  /// Cap on unacked root tuples per task (0 = unlimited).
+  SpoutDecl& max_pending(int n);
+
+ private:
+  friend class TopologyBuilder;
+  explicit SpoutDecl(ComponentDef& def) : def_(def) {}
+  ComponentDef& def_;
+};
+
+/// Fluent handle returned by set_bolt(); configures one bolt.
+class BoltDecl {
+ public:
+  BoltDecl& output_fields(std::vector<std::string> fields);
+  BoltDecl& shuffle_grouping(const std::string& source);
+  /// `field` must be an output field declared by `source`.
+  BoltDecl& fields_grouping(const std::string& source,
+                            const std::string& field);
+  BoltDecl& all_grouping(const std::string& source);
+  BoltDecl& global_grouping(const std::string& source);
+  BoltDecl& direct_grouping(const std::string& source);
+  /// Periodic tick delivery (Storm tick tuples); 0 disables.
+  BoltDecl& tick_interval(double seconds);
+
+ private:
+  friend class TopologyBuilder;
+  explicit BoltDecl(ComponentDef& def) : def_(def) {}
+  ComponentDef& def_;
+};
+
+class TopologyBuilder {
+ public:
+  SpoutDecl set_spout(const std::string& name,
+                      std::function<std::unique_ptr<Spout>()> factory,
+                      int parallelism);
+
+  BoltDecl set_bolt(const std::string& name,
+                    std::function<std::unique_ptr<Bolt>()> factory,
+                    int parallelism);
+
+  /// Validates and assembles the topology. Appends the built-in acker
+  /// component (`num_ackers` tasks) that implements Storm's guaranteed
+  /// message processing. Throws TopologyError on invalid input: duplicate
+  /// or unknown components, bad parallelism, unknown fields-grouping field,
+  /// cycles, or a bolt with no inputs.
+  [[nodiscard]] Topology build(const std::string& name, int num_workers,
+                               int num_ackers) const;
+
+ private:
+  void validate(const Topology& t) const;
+
+  std::vector<ComponentDef> components_;
+};
+
+}  // namespace tstorm::topo

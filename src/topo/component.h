@@ -1,0 +1,92 @@
+// User-facing component API, mirroring Storm's IRichSpout / IRichBolt.
+//
+// A Storm application ports onto this API with the same structure: spouts
+// pull from external sources and emit tuples, bolts consume/emit/ack. The
+// one simulator-specific addition is that components declare how much CPU
+// (mega-cycles) and blocking I/O each action costs, standing in for the
+// real work the JVM would perform.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "topo/tuple.h"
+
+namespace tstorm::topo {
+
+/// Provided by the runtime to a bolt during execute(). Emissions are
+/// automatically anchored to the input tuple (the paper uses anchored
+/// topologies throughout so completion time can be observed).
+class BoltContext {
+ public:
+  virtual ~BoltContext() = default;
+
+  /// Emits on the bolt's default output stream to all subscribers.
+  virtual void emit(Tuple tuple) = 0;
+
+  /// Direct grouping: emit to a specific task index of a named consumer.
+  virtual void emit_direct(const std::string& consumer, int task_index,
+                           Tuple tuple) = 0;
+
+  /// Index of this task within its component, and component task count.
+  [[nodiscard]] virtual int task_index() const = 0;
+  [[nodiscard]] virtual int component_parallelism() const = 0;
+};
+
+/// A bolt processes one input tuple per execute() call. Instances are
+/// created per task via the factory registered with the TopologyBuilder;
+/// state mutated in execute() is task-local, exactly as in Storm.
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+
+  /// Called once when the hosting executor starts (after (re)assignment).
+  virtual void prepare(int /*task_index*/, int /*parallelism*/) {}
+
+  /// Processes a tuple; may emit any number of outputs. The runtime acks
+  /// the input automatically after execute() returns (anchored semantics).
+  virtual void execute(const Tuple& input, BoltContext& ctx) = 0;
+
+  /// Simulated CPU work to process `input`, in mega-cycles (1e6 cycles).
+  /// Service time on an uncontended core = cost / per_core_mhz seconds.
+  [[nodiscard]] virtual double cpu_cost_mega_cycles(
+      const Tuple& input) const = 0;
+
+  /// Blocking I/O time (seconds) that occupies the executor thread but not
+  /// the node's CPU (e.g. a MongoDB write).
+  [[nodiscard]] virtual double io_time_seconds(const Tuple& /*input*/) const {
+    return 0.0;
+  }
+
+  /// Called every tick_interval (Storm's tick tuples) when the component
+  /// declares one via BoltDecl::tick_interval(). Emissions from a tick are
+  /// unanchored, exactly like Storm tick-tuple-driven flushes.
+  virtual void on_tick(BoltContext& /*ctx*/) {}
+
+  /// Simulated CPU cost of one tick (mega-cycles).
+  [[nodiscard]] virtual double tick_cost_mega_cycles() const { return 0.05; }
+};
+
+/// A spout produces the input stream. next_tuple() is polled by the
+/// runtime; returning nullopt means "nothing available right now".
+class Spout {
+ public:
+  virtual ~Spout() = default;
+
+  virtual void prepare(int /*task_index*/, int /*parallelism*/) {}
+
+  /// Returns the next tuple to emit, or nullopt if the source is
+  /// momentarily empty.
+  virtual std::optional<Tuple> next_tuple() = 0;
+
+  /// Completion callbacks (informational; the runtime handles replay).
+  virtual void on_ack(std::uint64_t /*root_id*/) {}
+  virtual void on_fail(std::uint64_t /*root_id*/) {}
+
+  /// Simulated CPU work per emission, in mega-cycles.
+  [[nodiscard]] virtual double cpu_cost_mega_cycles() const { return 0.05; }
+};
+
+}  // namespace tstorm::topo

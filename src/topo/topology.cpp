@@ -1,0 +1,51 @@
+#include "topo/topology.h"
+
+namespace tstorm::topo {
+
+const char* to_string(GroupingType g) {
+  switch (g) {
+    case GroupingType::kShuffle:
+      return "shuffle";
+    case GroupingType::kFields:
+      return "fields";
+    case GroupingType::kAll:
+      return "all";
+    case GroupingType::kGlobal:
+      return "global";
+    case GroupingType::kDirect:
+      return "direct";
+  }
+  return "?";
+}
+
+const ComponentDef* Topology::find(const std::string& name) const {
+  for (const auto& c : components_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const ComponentDef& Topology::component(const std::string& name) const {
+  const auto* c = find(name);
+  if (c == nullptr) throw TopologyError("unknown component: " + name);
+  return *c;
+}
+
+int Topology::total_executors() const {
+  int n = 0;
+  for (const auto& c : components_) n += c.parallelism;
+  return n;
+}
+
+std::vector<Topology::Consumer> Topology::consumers_of(
+    const std::string& source) const {
+  std::vector<Consumer> out;
+  for (const auto& c : components_) {
+    for (const auto& sub : c.inputs) {
+      if (sub.source == source) out.push_back(Consumer{&c, sub});
+    }
+  }
+  return out;
+}
+
+}  // namespace tstorm::topo

@@ -1,0 +1,103 @@
+// Topology: the validated, immutable description of a Storm application —
+// components, parallelism, groupings, and the user-requested worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/component.h"
+
+namespace tstorm::topo {
+
+enum class GroupingType { kShuffle, kFields, kAll, kGlobal, kDirect };
+
+const char* to_string(GroupingType g);
+
+enum class ComponentKind { kSpout, kBolt, kAcker };
+
+/// Name of the built-in acker component added to every topology.
+inline constexpr const char* kAckerComponent = "__acker";
+
+/// A bolt's subscription to an upstream component's output stream.
+struct StreamSubscription {
+  std::string source;
+  GroupingType grouping = GroupingType::kShuffle;
+  /// Fields grouping only: the partitioning field of the source's output.
+  std::string field_name;
+  /// Index into the source's output_fields; resolved during build().
+  int field_index = -1;
+};
+
+struct ComponentDef {
+  std::string name;
+  ComponentKind kind = ComponentKind::kBolt;
+  int parallelism = 1;
+  std::vector<std::string> output_fields;
+  std::vector<StreamSubscription> inputs;  // bolts only
+
+  std::function<std::unique_ptr<Spout>()> spout_factory;
+  std::function<std::unique_ptr<Bolt>()> bolt_factory;
+
+  /// Spouts only: rate-control sleep between next_tuple() polls, seconds.
+  /// Matches the paper's Throughput Test spout (5 ms per emission).
+  double emit_interval = 0.005;
+
+  /// Spouts only: cap on unacked root tuples per spout task (Storm's
+  /// max.spout.pending). 0 = unlimited.
+  int max_pending = 0;
+
+  /// Bolts only: deliver a tick to each task every tick_interval seconds
+  /// (Storm's topology.tick.tuple.freq.secs). 0 disables ticks.
+  double tick_interval = 0;
+};
+
+/// Thrown by TopologyBuilder::build() on an invalid topology.
+class TopologyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Topology {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Number of workers requested by the user (Nu in the paper). The
+  /// effective count is decided by the scheduler in use.
+  [[nodiscard]] int num_workers() const { return num_workers_; }
+
+  [[nodiscard]] int num_ackers() const { return num_ackers_; }
+
+  /// All components, including the built-in acker (last).
+  [[nodiscard]] const std::vector<ComponentDef>& components() const {
+    return components_;
+  }
+
+  [[nodiscard]] const ComponentDef& component(const std::string& name) const;
+  [[nodiscard]] const ComponentDef* find(const std::string& name) const;
+
+  /// Total executors across components (one task per executor).
+  [[nodiscard]] int total_executors() const;
+
+  /// Names of components subscribing to `source`, with the grouping used.
+  struct Consumer {
+    const ComponentDef* component;
+    StreamSubscription subscription;
+  };
+  [[nodiscard]] std::vector<Consumer> consumers_of(
+      const std::string& source) const;
+
+ private:
+  friend class TopologyBuilder;
+  Topology() = default;
+
+  std::string name_;
+  int num_workers_ = 1;
+  int num_ackers_ = 1;
+  std::vector<ComponentDef> components_;
+};
+
+}  // namespace tstorm::topo

@@ -1,0 +1,59 @@
+#include "topo/tuple.h"
+
+#include <bit>
+#include <cstring>
+
+namespace tstorm::topo {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t hash_value(const Value& v) {
+  return std::visit(
+      [](const auto& x) -> std::uint64_t {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return fnv1a(x.data(), x.size());
+        } else if constexpr (std::is_same_v<T, double>) {
+          const auto bits = std::bit_cast<std::uint64_t>(x);
+          return fnv1a(&bits, sizeof(bits));
+        } else {
+          return fnv1a(&x, sizeof(x));
+        }
+      },
+      v);
+}
+
+std::uint64_t value_bytes(const Value& v) {
+  return std::visit(
+      [](const auto& x) -> std::uint64_t {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return x.size() + 4;  // length-prefixed string
+        } else {
+          return 8;
+        }
+      },
+      v);
+}
+
+std::uint64_t Tuple::bytes() const {
+  std::uint64_t total = 8;  // tuple framing
+  for (const auto& v : values_) total += value_bytes(v);
+  return total;
+}
+
+}  // namespace tstorm::topo

@@ -1,0 +1,52 @@
+// Tuples: the unit of data flowing through a topology. A tuple is an
+// ordered list of typed values; field names come from the emitting
+// component's declared output fields (as in Storm's declareOutputFields).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tstorm::topo {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/// Stable 64-bit hash of a value; drives fields grouping. Deterministic
+/// across platforms (FNV-1a on the canonical byte representation).
+std::uint64_t hash_value(const Value& v);
+
+/// Approximate serialized size of a value in bytes.
+std::uint64_t value_bytes(const Value& v);
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] const Value& at(std::size_t i) const { return values_.at(i); }
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+
+  [[nodiscard]] std::int64_t get_int(std::size_t i) const {
+    return std::get<std::int64_t>(values_.at(i));
+  }
+  [[nodiscard]] double get_double(std::size_t i) const {
+    return std::get<double>(values_.at(i));
+  }
+  [[nodiscard]] const std::string& get_string(std::size_t i) const {
+    return std::get<std::string>(values_.at(i));
+  }
+
+  /// Approximate wire size, used by the network model.
+  [[nodiscard]] std::uint64_t bytes() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace tstorm::topo

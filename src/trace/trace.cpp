@@ -1,0 +1,86 @@
+#include "trace/trace.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tstorm::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTopologySubmitted:
+      return "topology-submitted";
+    case EventKind::kSchedulePublished:
+      return "schedule-published";
+    case EventKind::kScheduleApplied:
+      return "schedule-applied";
+    case EventKind::kWorkerStarted:
+      return "worker-started";
+    case EventKind::kWorkerDraining:
+      return "worker-draining";
+    case EventKind::kWorkerStopped:
+      return "worker-stopped";
+    case EventKind::kSpoutsHalted:
+      return "spouts-halted";
+    case EventKind::kOverloadTriggered:
+      return "overload-triggered";
+    case EventKind::kNodeFailed:
+      return "node-failed";
+    case EventKind::kNodeRecovered:
+      return "node-recovered";
+    case EventKind::kTopologyKilled:
+      return "topology-killed";
+  }
+  return "?";
+}
+
+std::string format_event(const Event& e) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << "[" << std::setw(8) << e.time
+     << "s] " << to_string(e.kind);
+  if (e.topology >= 0) os << " topology=" << e.topology;
+  if (e.node >= 0) os << " node=" << e.node;
+  if (e.slot >= 0) os << " slot=" << e.slot;
+  if (e.version > 0) os << " version=" << e.version;
+  if (!e.detail.empty()) os << " (" << e.detail << ")";
+  return os.str();
+}
+
+void TraceLog::record(Event event) {
+  ++total_;
+  if (listener_) listener_(event);
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<Event> TraceLog::of_kind(EventKind kind) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> TraceLog::between(sim::Time from, sim::Time to) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.time >= from && e.time < to) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void TraceLog::dump(std::ostream& os, sim::Time from, sim::Time to) const {
+  for (const auto& e : events_) {
+    if (e.time >= from && e.time < to) os << format_event(e) << "\n";
+  }
+}
+
+}  // namespace tstorm::trace

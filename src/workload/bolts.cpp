@@ -1,0 +1,57 @@
+#include "workload/bolts.h"
+
+#include "sim/rng.h"
+
+namespace tstorm::workload {
+
+RandomStringSpout::RandomStringSpout(std::size_t payload_bytes,
+                                     double cost_mc, std::uint64_t seed)
+    : cost_mc_(cost_mc) {
+  sim::Rng rng(seed);
+  base_ = rng.random_string(payload_bytes);
+}
+
+std::optional<topo::Tuple> RandomStringSpout::next_tuple() {
+  // A fresh "random" payload per emission without regenerating 10K chars:
+  // stamp a counter into the shared base (the network model only sees the
+  // byte count; the stamp keeps payloads distinct for fields grouping).
+  std::string payload = base_;
+  const auto stamp = std::to_string(counter_++);
+  payload.replace(0, stamp.size(), stamp);
+  return topo::Tuple{std::move(payload)};
+}
+
+QueueSpout::QueueSpout(std::shared_ptr<ExternalQueue> queue,
+                       std::function<std::string()> make_line, double cost_mc)
+    : queue_(std::move(queue)),
+      make_line_(std::move(make_line)),
+      cost_mc_(cost_mc) {}
+
+std::optional<topo::Tuple> QueueSpout::next_tuple() {
+  if (!queue_->try_pop()) return std::nullopt;
+  return topo::Tuple{make_line_()};
+}
+
+void SplitSentenceBolt::execute(const topo::Tuple& input,
+                                topo::BoltContext& ctx) {
+  for (auto& word : split_words(input.get_string(0))) {
+    ctx.emit(topo::Tuple{std::move(word)});
+  }
+}
+
+double SplitSentenceBolt::cpu_cost_mega_cycles(
+    const topo::Tuple& input) const {
+  // Approximate word count from line length (avoids double parsing).
+  const double words =
+      static_cast<double>(input.get_string(0).size()) / 6.0;
+  return base_mc_ + per_word_mc_ * words;
+}
+
+void WordCountBolt::execute(const topo::Tuple& input,
+                            topo::BoltContext& ctx) {
+  const auto& word = input.get_string(0);
+  const auto count = ++counts_[word];
+  ctx.emit(topo::Tuple{word, count});
+}
+
+}  // namespace tstorm::workload

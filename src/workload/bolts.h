@@ -1,0 +1,210 @@
+// Reusable spout/bolt implementations shared by the benchmark topologies.
+// Each declares its simulated CPU cost (mega-cycles) and, where relevant,
+// blocking I/O time, standing in for the real work the JVM components did.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "topo/component.h"
+#include "workload/external_queue.h"
+#include "workload/textgen.h"
+
+namespace tstorm::workload {
+
+/// Throughput Test spout: "repeatedly generates random strings of a fixed
+/// size of 10K bytes as input tuples".
+class RandomStringSpout final : public topo::Spout {
+ public:
+  RandomStringSpout(std::size_t payload_bytes, double cost_mc,
+                    std::uint64_t seed);
+
+  std::optional<topo::Tuple> next_tuple() override;
+  [[nodiscard]] double cpu_cost_mega_cycles() const override {
+    return cost_mc_;
+  }
+
+ private:
+  std::string base_;
+  double cost_mc_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Pulls one item per call from an external queue and emits the line
+/// synthesized by `make_line` (the Redis-consuming reader/log spouts).
+class QueueSpout final : public topo::Spout {
+ public:
+  QueueSpout(std::shared_ptr<ExternalQueue> queue,
+             std::function<std::string()> make_line, double cost_mc);
+
+  std::optional<topo::Tuple> next_tuple() override;
+  [[nodiscard]] double cpu_cost_mega_cycles() const override {
+    return cost_mc_;
+  }
+
+ private:
+  std::shared_ptr<ExternalQueue> queue_;
+  std::function<std::string()> make_line_;
+  double cost_mc_;
+};
+
+/// "Simply emits any tuples it receives ... without changing anything."
+class IdentityBolt final : public topo::Bolt {
+ public:
+  explicit IdentityBolt(double cost_mc) : cost_mc_(cost_mc) {}
+
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    ctx.emit(input);
+  }
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return cost_mc_;
+  }
+
+ private:
+  double cost_mc_;
+};
+
+/// "Holds a counter, and increments ... every time a tuple has been
+/// received and processed." Terminal bolt (no emissions).
+class CounterBolt final : public topo::Bolt {
+ public:
+  explicit CounterBolt(double cost_mc) : cost_mc_(cost_mc) {}
+
+  void execute(const topo::Tuple& /*input*/,
+               topo::BoltContext& /*ctx*/) override {
+    ++count_;
+  }
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return cost_mc_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  double cost_mc_;
+  std::uint64_t count_ = 0;
+};
+
+/// SplitSentence: splits each line into words. Cost scales with line
+/// length.
+class SplitSentenceBolt final : public topo::Bolt {
+ public:
+  SplitSentenceBolt(double base_mc, double per_word_mc)
+      : base_mc_(base_mc), per_word_mc_(per_word_mc) {}
+
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override;
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& input) const override;
+
+ private:
+  double base_mc_;
+  double per_word_mc_;
+};
+
+/// WordCount: increments a per-word counter and emits (word, count).
+class WordCountBolt final : public topo::Bolt {
+ public:
+  explicit WordCountBolt(double cost_mc) : cost_mc_(cost_mc) {}
+
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override;
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return cost_mc_;
+  }
+  [[nodiscard]] const std::unordered_map<std::string, std::int64_t>& counts()
+      const {
+    return counts_;
+  }
+
+ private:
+  double cost_mc_;
+  std::unordered_map<std::string, std::int64_t> counts_;
+};
+
+/// Terminal sink persisting results into a (simulated) MongoDB: CPU for
+/// serialization plus blocking driver I/O.
+class MongoBolt final : public topo::Bolt {
+ public:
+  MongoBolt(double cost_mc, double io_s) : cost_mc_(cost_mc), io_s_(io_s) {}
+
+  void execute(const topo::Tuple& /*input*/,
+               topo::BoltContext& /*ctx*/) override {
+    ++writes_;
+  }
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return cost_mc_;
+  }
+  [[nodiscard]] double io_time_seconds(
+      const topo::Tuple& /*input*/) const override {
+    return io_s_;
+  }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+ private:
+  double cost_mc_;
+  double io_s_;
+  std::uint64_t writes_ = 0;
+};
+
+/// Log rules bolt: "performs rule-based analysis on the log stream and
+/// emits a single value containing a log entry instance".
+class LogRulesBolt final : public topo::Bolt {
+ public:
+  explicit LogRulesBolt(double cost_mc) : cost_mc_(cost_mc) {}
+
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    ctx.emit(topo::Tuple{input.get_string(0)});
+  }
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return cost_mc_;
+  }
+
+ private:
+  double cost_mc_;
+};
+
+/// Indexer bolt: builds the (simulated) index document and forwards it.
+class IndexerBolt final : public topo::Bolt {
+ public:
+  explicit IndexerBolt(double cost_mc) : cost_mc_(cost_mc) {}
+
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    ctx.emit(topo::Tuple{input.get_string(0)});
+  }
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return cost_mc_;
+  }
+
+ private:
+  double cost_mc_;
+};
+
+/// Log counter bolt: aggregates per-entry counts and forwards (key, count).
+class LogCountBolt final : public topo::Bolt {
+ public:
+  explicit LogCountBolt(double cost_mc) : cost_mc_(cost_mc) {}
+
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    const auto& entry = input.get_string(0);
+    const auto n = ++counts_[entry.size() % 97];  // cheap key extraction
+    ctx.emit(topo::Tuple{static_cast<std::int64_t>(entry.size() % 97),
+                         static_cast<std::int64_t>(n)});
+  }
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return cost_mc_;
+  }
+
+ private:
+  double cost_mc_;
+  std::unordered_map<std::size_t, std::int64_t> counts_;
+};
+
+}  // namespace tstorm::workload

@@ -1,0 +1,42 @@
+#include "workload/external_queue.h"
+
+#include <cassert>
+
+namespace tstorm::workload {
+
+bool ExternalQueue::push(std::uint64_t n) {
+  if (size_ + n > capacity_) {
+    dropped_ += n;
+    return false;
+  }
+  size_ += n;
+  pushed_ += n;
+  return true;
+}
+
+bool ExternalQueue::try_pop() {
+  if (size_ == 0) return false;
+  --size_;
+  ++popped_;
+  return true;
+}
+
+QueueProducer::QueueProducer(sim::Simulation& sim, ExternalQueue& queue,
+                             double rate)
+    : queue_(queue), rate_(rate) {
+  assert(rate > 0);
+  task_ = std::make_unique<sim::PeriodicTask>(sim, 1.0 / rate,
+                                              [this] { queue_.push(); });
+}
+
+void QueueProducer::start(sim::Time first_delay) { task_->start(first_delay); }
+
+void QueueProducer::stop() { task_->stop(); }
+
+void QueueProducer::set_rate(double rate) {
+  assert(rate > 0);
+  rate_ = rate;
+  task_->set_period(1.0 / rate);
+}
+
+}  // namespace tstorm::workload

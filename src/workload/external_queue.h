@@ -1,0 +1,64 @@
+// ExternalQueue: the Redis queue the paper's Word Count and Log Stream
+// topologies consume from, plus QueueProducer, the external process
+// (file pusher / LogStash) that fills it at a configurable rate. The
+// overload-handling experiments (Figs. 9 and 10) attach a second producer
+// to model "two concurrent streams".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "sim/simulation.h"
+
+namespace tstorm::workload {
+
+/// Item-count queue: producers credit it, spouts debit it. Payload content
+/// is synthesized by the consumer's generator at pop time, so the queue
+/// itself is O(1) memory regardless of backlog.
+class ExternalQueue {
+ public:
+  explicit ExternalQueue(
+      std::uint64_t capacity = std::numeric_limits<std::uint64_t>::max())
+      : capacity_(capacity) {}
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool push(std::uint64_t n = 1);
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop();
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+  [[nodiscard]] std::uint64_t total_popped() const { return popped_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Pushes items into a queue at `rate` items/second (deterministic
+/// spacing). Start/stop and rate changes take effect immediately, so
+/// benches can turn a second stream on mid-run.
+class QueueProducer {
+ public:
+  QueueProducer(sim::Simulation& sim, ExternalQueue& queue, double rate);
+  ~QueueProducer() = default;
+
+  void start(sim::Time first_delay = 0);
+  void stop();
+  void set_rate(double rate);
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  ExternalQueue& queue_;
+  double rate_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+};
+
+}  // namespace tstorm::workload

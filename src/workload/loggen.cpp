@@ -1,0 +1,53 @@
+#include "workload/loggen.h"
+
+namespace tstorm::workload {
+namespace {
+
+const char* kMethods[] = {"GET", "GET", "GET", "GET", "POST", "HEAD"};
+const char* kAgents[] = {
+    "Mozilla/5.0 (Windows NT 6.1)", "Mozilla/5.0 (Macintosh)",
+    "Googlebot/2.1", "curl/7.29.0"};
+const int kStatuses[] = {200, 200, 200, 200, 200, 304, 404, 500};
+
+}  // namespace
+
+LogGenerator::LogGenerator() : LogGenerator(Options{}) {}
+
+LogGenerator::LogGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  uris_.reserve(options_.distinct_uris);
+  for (std::size_t i = 0; i < options_.distinct_uris; ++i) {
+    uris_.push_back("/ecs/" + rng_.random_string(3) + "/" +
+                    rng_.random_string(6) + ".aspx");
+  }
+  ips_.reserve(options_.distinct_ips);
+  for (std::size_t i = 0; i < options_.distinct_ips; ++i) {
+    ips_.push_back(std::to_string(rng_.uniform_int(1, 223)) + "." +
+                   std::to_string(rng_.uniform_int(0, 255)) + "." +
+                   std::to_string(rng_.uniform_int(0, 255)) + "." +
+                   std::to_string(rng_.uniform_int(1, 254)));
+  }
+}
+
+LogRecord LogGenerator::next_record() {
+  LogRecord r;
+  r.client_ip = ips_[rng_.zipf(ips_.size(), options_.zipf_exponent)];
+  r.method = kMethods[rng_.uniform_int(0, 5)];
+  r.uri = uris_[rng_.zipf(uris_.size(), options_.zipf_exponent)];
+  r.status = kStatuses[rng_.uniform_int(0, 7)];
+  r.bytes = static_cast<std::uint64_t>(rng_.exponential(8.0 * 1024));
+  r.user_agent = kAgents[rng_.uniform_int(0, 3)];
+  return r;
+}
+
+std::string LogGenerator::next_json_line() {
+  const LogRecord r = next_record();
+  std::string out = "{\"ip\":\"" + r.client_ip + "\",\"method\":\"" +
+                    r.method + "\",\"uri\":\"" + r.uri + "\",\"status\":" +
+                    std::to_string(r.status) + ",\"bytes\":" +
+                    std::to_string(r.bytes) + ",\"agent\":\"" + r.user_agent +
+                    "\"}";
+  return out;
+}
+
+}  // namespace tstorm::workload

@@ -1,0 +1,49 @@
+// Synthetic IIS-style web-server log lines, standing in for the Microsoft
+// IIS logs (College of Engineering and Computer Science, Syracuse) used by
+// the paper's Log Stream Processing experiments. LogStash-style JSON
+// framing, Zipf-distributed URIs and client IPs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace tstorm::workload {
+
+struct LogRecord {
+  std::string client_ip;
+  std::string method;
+  std::string uri;
+  int status = 200;
+  std::uint64_t bytes = 0;
+  std::string user_agent;
+};
+
+class LogGenerator {
+ public:
+  struct Options {
+    std::size_t distinct_uris = 500;
+    std::size_t distinct_ips = 2000;
+    double zipf_exponent = 1.3;
+    std::uint64_t seed = 11;
+  };
+
+  LogGenerator();
+  explicit LogGenerator(Options options);
+
+  /// A structured record.
+  LogRecord next_record();
+
+  /// The record as the JSON value LogStash would push into Redis.
+  std::string next_json_line();
+
+ private:
+  Options options_;
+  sim::Rng rng_;
+  std::vector<std::string> uris_;
+  std::vector<std::string> ips_;
+};
+
+}  // namespace tstorm::workload

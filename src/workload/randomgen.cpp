@@ -1,0 +1,101 @@
+#include "workload/randomgen.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workload/bolts.h"
+
+namespace tstorm::workload {
+namespace {
+
+/// Forwards each input with a fixed cost; terminal when forward == false.
+class RandomBolt final : public topo::Bolt {
+ public:
+  RandomBolt(double cost_mc, bool forward)
+      : cost_mc_(cost_mc), forward_(forward) {}
+
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    if (forward_) ctx.emit(input);
+  }
+  double cpu_cost_mega_cycles(const topo::Tuple&) const override {
+    return cost_mc_;
+  }
+
+ private:
+  double cost_mc_;
+  bool forward_;
+};
+
+class SequenceSpout final : public topo::Spout {
+ public:
+  std::optional<topo::Tuple> next_tuple() override {
+    return topo::Tuple{counter_++};
+  }
+  double cpu_cost_mega_cycles() const override { return 0.1; }
+
+ private:
+  std::int64_t counter_ = 0;
+};
+
+}  // namespace
+
+topo::Topology make_random_topology(const RandomTopologyOptions& options) {
+  sim::Rng rng(options.seed);
+  topo::TopologyBuilder b;
+
+  b.set_spout("spout", [] { return std::make_unique<SequenceSpout>(); },
+              static_cast<int>(rng.uniform_int(1, 2)))
+      .output_fields({"v"})
+      .emit_interval(options.emit_interval)
+      .max_pending(options.max_pending);
+
+  const int n_bolts = static_cast<int>(
+      rng.uniform_int(options.min_bolts, options.max_bolts));
+  std::vector<std::string> sources{"spout"};
+
+  for (int i = 0; i < n_bolts; ++i) {
+    const std::string name = "bolt" + std::to_string(i);
+    const double cost = rng.uniform(0.05, options.max_cost_mc);
+    const bool forward = rng.bernoulli(options.forward_probability) ||
+                         i + 1 < n_bolts;  // inner bolts keep data moving
+    auto decl = b.set_bolt(
+        name,
+        [cost, forward] { return std::make_unique<RandomBolt>(cost, forward); },
+        static_cast<int>(rng.uniform_int(1, options.max_parallelism)));
+    decl.output_fields({"v"});
+
+    auto subscribe = [&](const std::string& source) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          decl.shuffle_grouping(source);
+          break;
+        case 1:
+          decl.fields_grouping(source, "v");
+          break;
+        case 2:
+          decl.all_grouping(source);
+          break;
+        default:
+          decl.global_grouping(source);
+          break;
+      }
+    };
+    // Primary input: the most recent source keeps the DAG connected.
+    subscribe(sources.back());
+    // Optional extra input from an earlier layer (no cycles: sources only
+    // contains components declared before this bolt).
+    if (sources.size() > 1 &&
+        rng.bernoulli(options.extra_input_probability)) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sources.size()) - 2));
+      subscribe(sources[pick]);
+    }
+    sources.push_back(name);
+  }
+
+  return b.build(options.name, options.workers, options.ackers);
+}
+
+}  // namespace tstorm::workload

@@ -1,0 +1,36 @@
+// Random topology generator: layered DAGs with random parallelism,
+// groupings and costs. Not part of the paper's evaluation — a fuzzing
+// substrate for the runtime and schedulers (any generated topology must
+// run, ack, and schedule without violating invariants).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/builder.h"
+
+namespace tstorm::workload {
+
+struct RandomTopologyOptions {
+  int min_bolts = 1;
+  int max_bolts = 6;
+  int max_parallelism = 4;
+  /// Upper bound on per-tuple bolt cost (mega-cycles).
+  double max_cost_mc = 1.5;
+  /// Probability a bolt forwards its input downstream (vs terminal).
+  double forward_probability = 0.7;
+  /// Probability an extra subscription is added (multi-input bolts).
+  double extra_input_probability = 0.3;
+  double emit_interval = 0.005;
+  int max_pending = 100;
+  int workers = 8;
+  int ackers = 2;
+  std::uint64_t seed = 1;
+  std::string name = "random";
+};
+
+/// Builds a valid random topology. The spout emits integer sequence
+/// tuples with output field "v"; every bolt declares output field "v" so
+/// any grouping (shuffle/fields/all/global) is wirable.
+topo::Topology make_random_topology(const RandomTopologyOptions& options);
+
+}  // namespace tstorm::workload

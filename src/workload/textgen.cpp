@@ -1,0 +1,56 @@
+#include "workload/textgen.h"
+
+#include <unordered_set>
+
+namespace tstorm::workload {
+
+TextGenerator::TextGenerator() : TextGenerator(Options{}) {}
+
+TextGenerator::TextGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  // Distinct pseudo-words, short ones first (like natural language, where
+  // frequent words are short).
+  std::unordered_set<std::string> seen;
+  vocab_.reserve(options_.vocabulary);
+  while (vocab_.size() < options_.vocabulary) {
+    const auto len = static_cast<std::size_t>(rng_.uniform_int(
+        2, 2 + static_cast<std::int64_t>(vocab_.size() * 8 /
+                                         std::max<std::size_t>(
+                                             1, options_.vocabulary))));
+    auto w = rng_.random_string(len);
+    if (seen.insert(w).second) vocab_.push_back(std::move(w));
+  }
+}
+
+const std::string& TextGenerator::next_word() {
+  const auto rank = rng_.zipf(vocab_.size(), options_.zipf_exponent);
+  return vocab_[rank];
+}
+
+std::string TextGenerator::next_line() {
+  const auto n = rng_.uniform_int(options_.min_words_per_line,
+                                  options_.max_words_per_line);
+  std::string line;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) line += ' ';
+    line += next_word();
+  }
+  return line;
+}
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::size_t start = 0;
+  while (start < line.size()) {
+    const auto end = line.find(' ', start);
+    if (end == std::string::npos) {
+      if (start < line.size()) words.push_back(line.substr(start));
+      break;
+    }
+    if (end > start) words.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return words;
+}
+
+}  // namespace tstorm::workload

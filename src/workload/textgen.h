@@ -1,0 +1,49 @@
+// Synthetic text source standing in for the paper's Word Count input (the
+// Gutenberg text of "Alice's Adventures in Wonderland" concatenated
+// repeatedly). Words are drawn from a fixed vocabulary with a Zipf-like
+// frequency distribution, matching the skew that makes fields grouping
+// interesting (hot words hash to the same counter task).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace tstorm::workload {
+
+class TextGenerator {
+ public:
+  struct Options {
+    std::size_t vocabulary = 3000;
+    double zipf_exponent = 1.1;
+    int min_words_per_line = 8;
+    int max_words_per_line = 12;
+    std::uint64_t seed = 7;
+  };
+
+  TextGenerator();
+  explicit TextGenerator(Options options);
+
+  /// One line of space-separated words.
+  std::string next_line();
+
+  /// A single word draw (Zipf-distributed rank).
+  const std::string& next_word();
+
+  [[nodiscard]] const std::vector<std::string>& vocabulary() const {
+    return vocab_;
+  }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  sim::Rng rng_;
+  std::vector<std::string> vocab_;
+};
+
+/// Splits a line into words (whitespace-separated); the SplitSentence bolt
+/// uses this.
+std::vector<std::string> split_words(const std::string& line);
+
+}  // namespace tstorm::workload

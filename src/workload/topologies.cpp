@@ -1,0 +1,159 @@
+#include "workload/topologies.h"
+
+namespace tstorm::workload {
+
+topo::Topology make_throughput_test(const ThroughputTestOptions& options) {
+  topo::TopologyBuilder b;
+  auto seed = std::make_shared<std::uint64_t>(options.seed);
+  b.set_spout("spout",
+              [options, seed] {
+                return std::make_unique<RandomStringSpout>(
+                    options.payload_bytes, options.spout_cost_mc, (*seed)++);
+              },
+              options.spout_parallelism)
+      .output_fields({"str"})
+      .emit_interval(options.emit_interval)
+      .max_pending(options.max_pending);
+  b.set_bolt("identity",
+             [options] {
+               return std::make_unique<IdentityBolt>(options.identity_cost_mc);
+             },
+             options.identity_parallelism)
+      .output_fields({"str"})
+      .shuffle_grouping("spout");
+  b.set_bolt("counter",
+             [options] {
+               return std::make_unique<CounterBolt>(options.counter_cost_mc);
+             },
+             options.counter_parallelism)
+      .shuffle_grouping("identity");
+  return b.build(options.name, options.workers, options.ackers);
+}
+
+topo::Topology make_chain(const ChainOptions& options) {
+  topo::TopologyBuilder b;
+  auto seed = std::make_shared<std::uint64_t>(options.seed);
+  b.set_spout("spout",
+              [options, seed] {
+                return std::make_unique<RandomStringSpout>(
+                    options.payload_bytes, options.spout_cost_mc, (*seed)++);
+              },
+              options.spout_parallelism)
+      .output_fields({"str"})
+      .emit_interval(options.emit_interval)
+      .max_pending(options.max_pending);
+  std::string prev = "spout";
+  for (int i = 0; i < options.bolts; ++i) {
+    const std::string name = "bolt" + std::to_string(i + 1);
+    auto decl = b.set_bolt(
+        name,
+        [options] {
+          return std::make_unique<IdentityBolt>(options.bolt_cost_mc);
+        },
+        options.bolt_parallelism);
+    decl.output_fields({"str"}).shuffle_grouping(prev);
+    prev = name;
+  }
+  return b.build(options.name, options.workers, options.ackers);
+}
+
+WordCountWorkload make_word_count(const WordCountOptions& options) {
+  auto queue = std::make_shared<ExternalQueue>();
+  auto text = std::make_shared<TextGenerator>(options.text);
+
+  topo::TopologyBuilder b;
+  b.set_spout("reader",
+              [options, queue, text] {
+                return std::make_unique<QueueSpout>(
+                    queue, [text] { return text->next_line(); },
+                    options.reader_cost_mc);
+              },
+              options.spouts)
+      .output_fields({"line"})
+      .emit_interval(options.emit_interval)
+      .max_pending(options.max_pending);
+  b.set_bolt("split",
+             [options] {
+               return std::make_unique<SplitSentenceBolt>(
+                   options.split_base_mc, options.split_per_word_mc);
+             },
+             options.splitters)
+      .output_fields({"word"})
+      .shuffle_grouping("reader");
+  b.set_bolt("count",
+             [options] {
+               return std::make_unique<WordCountBolt>(options.count_cost_mc);
+             },
+             options.counters)
+      .output_fields({"word", "count"})
+      .fields_grouping("split", "word");
+  b.set_bolt("mongo",
+             [options] {
+               return std::make_unique<MongoBolt>(options.mongo_cost_mc,
+                                                  options.mongo_io_s);
+             },
+             options.mongos)
+      .shuffle_grouping("count");
+
+  WordCountWorkload w{b.build(options.name, options.workers, options.ackers),
+                      queue};
+  return w;
+}
+
+LogStreamWorkload make_log_stream(const LogStreamOptions& options) {
+  auto queue = std::make_shared<ExternalQueue>();
+  auto logs = std::make_shared<LogGenerator>(options.log);
+
+  topo::TopologyBuilder b;
+  b.set_spout("log-spout",
+              [options, queue, logs] {
+                return std::make_unique<QueueSpout>(
+                    queue, [logs] { return logs->next_json_line(); },
+                    options.spout_cost_mc);
+              },
+              options.spouts)
+      .output_fields({"log"})
+      .emit_interval(options.emit_interval)
+      .max_pending(options.max_pending);
+  b.set_bolt("log-rules",
+             [options] {
+               return std::make_unique<LogRulesBolt>(options.rules_cost_mc);
+             },
+             options.rules)
+      .output_fields({"entry"})
+      .shuffle_grouping("log-spout");
+  b.set_bolt("indexer",
+             [options] {
+               return std::make_unique<IndexerBolt>(options.indexer_cost_mc);
+             },
+             options.indexers)
+      .output_fields({"doc"})
+      .shuffle_grouping("log-rules");
+  b.set_bolt("counter",
+             [options] {
+               return std::make_unique<LogCountBolt>(options.counter_cost_mc);
+             },
+             options.counters)
+      .output_fields({"key", "count"})
+      .fields_grouping("log-rules", "entry");
+  b.set_bolt("mongo-index",
+             [options] {
+               return std::make_unique<MongoBolt>(options.mongo_cost_mc,
+                                                  options.mongo_io_s);
+             },
+             options.mongo_each)
+      .shuffle_grouping("indexer");
+  b.set_bolt("mongo-count",
+             [options] {
+               return std::make_unique<MongoBolt>(options.mongo_cost_mc,
+                                                  options.mongo_io_s);
+             },
+             options.mongo_each)
+      .shuffle_grouping("counter");
+
+  LogStreamWorkload w{b.build(options.name, options.workers, options.ackers),
+                      queue};
+  return w;
+}
+
+}  // namespace tstorm::workload

@@ -1,0 +1,129 @@
+// Factories for the paper's evaluation topologies:
+//   - Throughput Test  (section V / Fig. 5; also the chain variant used in
+//     the section III problem demonstrations, Figs. 2 and 3),
+//   - Word Count, stream version  (Fig. 6, Fig. 9),
+//   - Log Stream Processing       (Fig. 7 structure; Figs. 8 and 10).
+// Options default to the paper's experimental parallelisms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "topo/builder.h"
+#include "workload/bolts.h"
+#include "workload/external_queue.h"
+#include "workload/loggen.h"
+#include "workload/textgen.h"
+
+namespace tstorm::workload {
+
+/// ---------------------------------------------------- Throughput Test ---
+/// spout -> identity -> counter (shuffle groupings), 10 KB random-string
+/// tuples, 5 ms spout sleep. Paper test: 40 workers, 5 spout / 15 identity
+/// / 15 counter / 10 acker executors.
+struct ThroughputTestOptions {
+  int spout_parallelism = 5;
+  int identity_parallelism = 15;
+  int counter_parallelism = 15;
+  int ackers = 10;
+  int workers = 40;
+  double emit_interval = 0.005;  // the paper's 5 ms rate-control sleep
+  std::size_t payload_bytes = 10 * 1024;
+  double spout_cost_mc = 0.5;
+  double identity_cost_mc = 0.15;
+  double counter_cost_mc = 0.10;
+  int max_pending = 400;
+  std::uint64_t seed = 21;
+  std::string name = "throughput-test";
+};
+
+topo::Topology make_throughput_test(const ThroughputTestOptions& options = {});
+
+/// ------------------------------------------------------------- Chain ---
+/// The section III chain: one spout, `bolts` identity bolts in a line,
+/// one executor per component (Fig. 2), or `spout_parallelism` > 1 to
+/// overload a node (Fig. 3: 5 spout executors, 1 bolt executor).
+struct ChainOptions {
+  int spout_parallelism = 1;
+  int bolts = 4;
+  int bolt_parallelism = 1;
+  int ackers = 5;
+  int workers = 1;
+  double emit_interval = 0.005;
+  std::size_t payload_bytes = 10 * 1024;
+  double spout_cost_mc = 0.5;
+  double bolt_cost_mc = 0.15;
+  int max_pending = 400;
+  std::uint64_t seed = 23;
+  std::string name = "chain";
+};
+
+topo::Topology make_chain(const ChainOptions& options = {});
+
+/// --------------------------------------------------------- Word Count ---
+/// reader (Redis queue) -> split -> count (fields grouping on word) ->
+/// mongo. Paper test: 20 workers, 2 spout / 5 split / 5 count / 5 mongo.
+/// The returned queue is credited by QueueProducer(s) at the bench's line
+/// rate; the overload experiment attaches a second producer.
+struct WordCountOptions {
+  int spouts = 2;
+  int splitters = 5;
+  int counters = 5;
+  int mongos = 5;
+  int ackers = 10;
+  int workers = 20;
+  double emit_interval = 0.002;  // reader poll
+  int max_pending = 300;
+  double reader_cost_mc = 0.3;
+  double split_base_mc = 0.6;
+  double split_per_word_mc = 0.12;
+  double count_cost_mc = 1.0;
+  double mongo_cost_mc = 0.5;
+  double mongo_io_s = 0.00015;
+  TextGenerator::Options text;
+  std::string name = "word-count";
+};
+
+struct WordCountWorkload {
+  topo::Topology topology;
+  std::shared_ptr<ExternalQueue> queue;
+};
+
+WordCountWorkload make_word_count(const WordCountOptions& options = {});
+
+/// ------------------------------------------------- Log Stream (Fig. 7) ---
+/// log spout (Redis queue fed by LogStash) -> log rules -> {indexer,
+/// counter} -> per-branch mongo sinks. Paper test: 20 workers, 5 spout /
+/// 5 rules / 5 indexer / 5 counter / 2+2 mongo executors.
+struct LogStreamOptions {
+  int spouts = 5;
+  int rules = 5;
+  int indexers = 5;
+  int counters = 5;
+  int mongo_each = 2;
+  int ackers = 10;
+  int workers = 20;
+  double emit_interval = 0.002;
+  int max_pending = 300;
+  // The paper notes LSP's bolts "do even more intensive work than those in
+  // the Word Count topology"; these costs make the rules/indexer/counter
+  // stages clearly CPU-bound.
+  double spout_cost_mc = 0.4;
+  double rules_cost_mc = 12.0;
+  double indexer_cost_mc = 9.0;
+  double counter_cost_mc = 6.0;
+  double mongo_cost_mc = 4.5;
+  double mongo_io_s = 0.0004;
+  LogGenerator::Options log;
+  std::string name = "log-stream";
+};
+
+struct LogStreamWorkload {
+  topo::Topology topology;
+  std::shared_ptr<ExternalQueue> queue;
+};
+
+LogStreamWorkload make_log_stream(const LogStreamOptions& options = {});
+
+}  // namespace tstorm::workload

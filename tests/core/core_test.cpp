@@ -1,0 +1,281 @@
+// Tests for the T-Storm control plane: metrics database, load monitors,
+// schedule generator (hot-swap, gamma, publish rules, overload trigger),
+// custom scheduler, and the Table II defaults.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workload/topologies.h"
+
+namespace tstorm::core {
+namespace {
+
+// ---------------------------------------------------------- Table II pins
+
+TEST(CoreConfig, TableTwoDefaults) {
+  const CoreConfig c;
+  EXPECT_DOUBLE_EQ(c.alpha, 0.5);            // estimation coefficient
+  EXPECT_DOUBLE_EQ(c.monitor_period, 20.0);  // load monitoring period
+  EXPECT_DOUBLE_EQ(c.fetch_period, 10.0);    // schedule fetching period
+  EXPECT_DOUBLE_EQ(c.generation_period, 300.0);  // schedule generation
+  EXPECT_EQ(c.algorithm, "traffic-aware");
+}
+
+TEST(ClusterConfig, PaperTestbedDefaults) {
+  const runtime::ClusterConfig c;
+  EXPECT_EQ(c.num_nodes, 10);  // 10 available worker nodes
+  EXPECT_DOUBLE_EQ(c.supervisor_sync_period, 10.0);
+  EXPECT_DOUBLE_EQ(c.tuple_timeout, 30.0);  // Storm default
+  EXPECT_DOUBLE_EQ(c.shutdown_delay, 20.0);  // 2x checking period
+  EXPECT_DOUBLE_EQ(c.spout_halt_delay, 10.0);
+  EXPECT_DOUBLE_EQ(c.per_core_mhz, 2000.0);  // 2.0 GHz Xeons
+}
+
+// -------------------------------------------------------------- MetricsDb
+
+TEST(MetricsDb, EwmaUpdatesPerKey) {
+  MetricsDb db(0.5);
+  db.update_executor_load(1, 100.0);
+  EXPECT_DOUBLE_EQ(db.executor_load(1), 100.0);
+  db.update_executor_load(1, 200.0);
+  EXPECT_DOUBLE_EQ(db.executor_load(1), 150.0);
+  EXPECT_DOUBLE_EQ(db.executor_load(2), 0.0);  // unknown -> 0
+}
+
+TEST(MetricsDb, TrafficSnapshotFiltersZeroRates) {
+  MetricsDb db(0.5);
+  db.update_traffic(1, 2, 50.0);
+  db.update_traffic(2, 3, 0.0);
+  const auto snap = db.traffic_snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].src, 1);
+  EXPECT_EQ(snap[0].dst, 2);
+  EXPECT_DOUBLE_EQ(snap[0].rate, 50.0);
+}
+
+TEST(MetricsDb, TrafficIsDirectional) {
+  MetricsDb db(0.5);
+  db.update_traffic(1, 2, 10.0);
+  db.update_traffic(2, 1, 30.0);
+  const auto snap = db.traffic_snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+}
+
+TEST(MetricsDb, NodeLoadTracked) {
+  MetricsDb db(0.5);
+  db.update_node_load(3, 4000.0);
+  db.update_node_load(3, 6000.0);
+  EXPECT_DOUBLE_EQ(db.node_load(3), 5000.0);
+}
+
+TEST(MetricsDb, ForgetTaskRemovesLoadsAndTraffic) {
+  MetricsDb db(0.5);
+  db.update_executor_load(1, 10.0);
+  db.update_traffic(1, 2, 5.0);
+  db.update_traffic(3, 1, 5.0);
+  db.update_traffic(3, 4, 5.0);
+  db.forget_task(1);
+  EXPECT_DOUBLE_EQ(db.executor_load(1), 0.0);
+  EXPECT_EQ(db.traffic_snapshot().size(), 1u);
+}
+
+TEST(MetricsDb, SetAlphaAppliesToExistingEstimators) {
+  MetricsDb db(0.5);
+  db.update_executor_load(1, 100.0);
+  db.set_alpha(1.0);  // freeze
+  db.update_executor_load(1, 0.0);
+  EXPECT_DOUBLE_EQ(db.executor_load(1), 100.0);
+}
+
+TEST(MetricsDb, PublishedScheduleRoundTrip) {
+  MetricsDb db(0.5);
+  EXPECT_EQ(db.published_version(), 0);
+  db.publish_schedule({{1, 5}, {2, 6}}, 42);
+  EXPECT_EQ(db.published_version(), 42);
+  EXPECT_EQ(db.published_schedule().at(1), 5);
+}
+
+// ------------------------------------------------------------ LoadMonitor
+
+TEST(LoadMonitor, MeasuresExecutorMhzAndTraffic) {
+  sim::Simulation sim;
+  CoreConfig core;
+  TStormSystem sys(sim, {}, core);
+  sys.submit(workload::make_throughput_test());
+  sim.run_until(100.0);
+  // After several 20 s samples the DB must hold loads and traffic.
+  auto& db = sys.db();
+  EXPECT_TRUE(db.has_samples());
+  const auto traffic = db.traffic_snapshot();
+  EXPECT_GT(traffic.size(), 10u);
+  double total_load = 0;
+  for (auto id : sys.cluster().topology_ids()) {
+    for (auto t : sys.cluster().tasks_of(id)) {
+      total_load += db.executor_load(t);
+    }
+  }
+  EXPECT_GT(total_load, 100.0);  // the topology consumes real CPU
+}
+
+TEST(LoadMonitor, NodeLoadIsSumOfResidentExecutors) {
+  sim::Simulation sim;
+  TStormSystem sys(sim, {}, {});
+  sys.submit(workload::make_throughput_test());
+  sim.run_until(100.0);
+  double node_total = 0;
+  for (int n = 0; n < sys.cluster().num_nodes(); ++n) {
+    node_total += sys.db().node_load(n);
+  }
+  EXPECT_GT(node_total, 100.0);
+}
+
+// ------------------------------------------------------ ScheduleGenerator
+
+TEST(ScheduleGenerator, UnknownAlgorithmThrows) {
+  sim::Simulation sim;
+  runtime::Cluster cluster(sim, {});
+  MetricsDb db;
+  CoreConfig cfg;
+  cfg.algorithm = "no-such-algorithm";
+  EXPECT_THROW(ScheduleGenerator(cluster, db, cfg), std::invalid_argument);
+}
+
+TEST(ScheduleGenerator, HotSwapByName) {
+  sim::Simulation sim;
+  runtime::Cluster cluster(sim, {});
+  MetricsDb db;
+  ScheduleGenerator gen(cluster, db, {});
+  EXPECT_EQ(gen.algorithm_name(), "traffic-aware");
+  EXPECT_TRUE(gen.set_algorithm("round-robin"));
+  EXPECT_EQ(gen.algorithm_name(), "round-robin");
+  EXPECT_FALSE(gen.set_algorithm("bogus"));
+  EXPECT_EQ(gen.algorithm_name(), "round-robin");  // unchanged
+}
+
+TEST(ScheduleGenerator, GammaAdjustableOnTheFly) {
+  sim::Simulation sim;
+  runtime::Cluster cluster(sim, {});
+  MetricsDb db;
+  ScheduleGenerator gen(cluster, db, {});
+  EXPECT_DOUBLE_EQ(gen.gamma(), 1.0);
+  gen.set_gamma(2.5);
+  EXPECT_DOUBLE_EQ(gen.gamma(), 2.5);
+}
+
+TEST(ScheduleGenerator, NoTopologiesNothingPublished) {
+  sim::Simulation sim;
+  runtime::Cluster cluster(sim, {});
+  MetricsDb db;
+  ScheduleGenerator gen(cluster, db, {});
+  EXPECT_FALSE(gen.generate_now());
+  EXPECT_EQ(db.published_version(), 0);
+}
+
+TEST(ScheduleGenerator, ConsolidationPublishesWithLargeGamma) {
+  sim::Simulation sim;
+  CoreConfig core;
+  core.gamma = 6.0;
+  TStormSystem sys(sim, {}, core);
+  sys.submit(workload::make_throughput_test());
+  sim.run_until(120.0);  // enough monitor samples
+  EXPECT_TRUE(sys.generator().generate_now());
+  EXPECT_GT(sys.db().published_version(), 0);
+  // The published schedule uses far fewer nodes than the initial one.
+  sched::SchedulerInput in =
+      sys.cluster().scheduler_input(sys.cluster().topology_ids());
+  EXPECT_LE(sched::nodes_used(in, sys.db().published_schedule()), 4);
+}
+
+TEST(ScheduleGenerator, HysteresisSuppressesMarginalChanges) {
+  sim::Simulation sim;
+  CoreConfig core;
+  core.gamma = 1.0;
+  core.min_improvement = 0.9;              // nearly impossible to beat
+  core.consolidation_min_nodes_freed = 99;  // and no consolidation path
+  TStormSystem sys(sim, {}, core);
+  sys.submit(workload::make_throughput_test());
+  sim.run_until(120.0);
+  EXPECT_FALSE(sys.generator().generate_now());
+  EXPECT_EQ(sys.db().published_version(), 0);
+}
+
+TEST(ScheduleGenerator, OverloadTriggerBypassesHysteresis) {
+  sim::Simulation sim;
+  CoreConfig core;
+  core.min_improvement = 0.9;
+  TStormSystem sys(sim, {}, core);
+  sys.submit(workload::make_throughput_test());
+  sim.run_until(120.0);
+  // A forced overload-mode generation publishes despite the hysteresis
+  // (if the schedule differs at all).
+  const bool published = sys.generator().generate_now(true);
+  EXPECT_EQ(published, sys.db().published_version() > 0);
+}
+
+// -------------------------------------------------------- CustomScheduler
+
+TEST(CustomScheduler, AppliesOnlyNewerVersions) {
+  sim::Simulation sim;
+  CoreConfig core;
+  TStormSystem sys(sim, {}, core);
+  const auto id = sys.submit(workload::make_throughput_test());
+  sim.run_until(50.0);
+
+  auto& db = sys.db();
+  EXPECT_FALSE(sys.scheduler().fetch_and_apply());  // nothing published
+
+  // Publish the identity schedule under a fresh version.
+  sched::Placement p = sys.cluster().coordination().get(id)->placement;
+  const auto v = sys.cluster().nimbus().next_version();
+  db.publish_schedule(p, v);
+  EXPECT_TRUE(sys.scheduler().fetch_and_apply());
+  EXPECT_EQ(sys.scheduler().applied_version(), v);
+  EXPECT_EQ(sys.cluster().coordination().get(id)->version, v);
+
+  // Same version again: no-op.
+  EXPECT_FALSE(sys.scheduler().fetch_and_apply());
+}
+
+// ----------------------------------------------------------------- System
+
+TEST(System, TStormUsesOneWorkerPerNodeInitially) {
+  sim::Simulation sim;
+  TStormSystem sys(sim, {}, {});
+  const auto id = sys.submit(workload::make_throughput_test());
+  const auto* rec = sys.cluster().coordination().get(id);
+  ASSERT_NE(rec, nullptr);
+  sched::SchedulerInput in = sys.cluster().scheduler_input({id});
+  EXPECT_TRUE(sched::one_slot_per_topology_per_node(in, rec->placement));
+  EXPECT_EQ(sched::slots_used(rec->placement), 10);  // min(40, 10 nodes)
+}
+
+TEST(System, StormUsesAllRequestedWorkers) {
+  sim::Simulation sim;
+  StormSystem sys(sim);
+  const auto id = sys.submit(workload::make_throughput_test());
+  const auto* rec = sys.cluster().coordination().get(id);
+  EXPECT_EQ(sched::slots_used(rec->placement), 40);
+}
+
+TEST(System, SmoothReassignmentFlagFollowsSystemKind) {
+  sim::Simulation sim;
+  StormSystem storm(sim);
+  EXPECT_FALSE(storm.cluster().config().smooth_reassignment);
+  sim::Simulation sim2;
+  TStormSystem tstorm(sim2, {}, {});
+  EXPECT_TRUE(tstorm.cluster().config().smooth_reassignment);
+}
+
+TEST(System, PinnedSubmissionUsesGivenSlots) {
+  sim::Simulation sim;
+  TStormSystem sys(sim, {}, {});
+  auto wc = workload::make_word_count();
+  sched::Placement pin;
+  // All tasks onto node 0 slot 0 (round-robin fills unpinned tasks).
+  pin[0] = 0;
+  const auto id = sys.submit_pinned(std::move(wc.topology), pin);
+  const auto* rec = sys.cluster().coordination().get(id);
+  for (const auto& [task, slot] : rec->placement) EXPECT_EQ(slot, 0);
+}
+
+}  // namespace
+}  // namespace tstorm::core

@@ -1,0 +1,138 @@
+// The hardened overload trigger: needs BOTH high node CPU and deep
+// executor queues, for several consecutive checks, outside the
+// post-reassignment settling window.
+#include <gtest/gtest.h>
+
+#include "core/schedule_generator.h"
+#include "core/system.h"
+#include "workload/topologies.h"
+
+namespace tstorm::core {
+namespace {
+
+struct GateFixture {
+  sim::Simulation sim;
+  runtime::Cluster cluster{sim, {}};
+  MetricsDb db{0.5};
+  CoreConfig cfg;
+
+  GateFixture() {
+    cfg.monitor_period = 20.0;
+    cfg.generation_period = 100000.0;  // periodic path out of the way
+    cfg.overload_min_interval = 1.0;
+  }
+};
+
+TEST(OverloadGate, HighLoadAloneDoesNotTrigger) {
+  GateFixture f;
+  ScheduleGenerator gen(f.cluster, f.db, f.cfg);
+  gen.start();
+  f.cluster.submit(workload::make_throughput_test());
+  sim::PeriodicTask feeder(f.sim, 20.0, [&] {
+    f.db.update_executor_load(0, 500.0);  // has_samples()
+    f.db.update_node_load(0, 7900.0);     // way past 0.70 * 8000
+    f.db.update_node_queue(0, 1.0);       // but queues are empty
+  });
+  feeder.start(10.0);
+  f.sim.run_until(400.0);
+  EXPECT_EQ(gen.overload_triggers(), 0u);
+}
+
+TEST(OverloadGate, DeepQueuesAloneDoNotTrigger) {
+  GateFixture f;
+  ScheduleGenerator gen(f.cluster, f.db, f.cfg);
+  gen.start();
+  f.cluster.submit(workload::make_throughput_test());
+  sim::PeriodicTask feeder(f.sim, 20.0, [&] {
+    f.db.update_executor_load(0, 500.0);
+    f.db.update_node_load(0, 1000.0);   // lightly loaded
+    f.db.update_node_queue(0, 5000.0);  // deep queues (e.g. io-bound)
+  });
+  feeder.start(10.0);
+  f.sim.run_until(400.0);
+  EXPECT_EQ(gen.overload_triggers(), 0u);
+}
+
+TEST(OverloadGate, BothSignalsTriggerAfterStreak) {
+  GateFixture f;
+  ScheduleGenerator gen(f.cluster, f.db, f.cfg);
+  gen.start();
+  f.cluster.submit(workload::make_throughput_test());
+  sim::PeriodicTask feeder(f.sim, 20.0, [&] {
+    f.db.update_executor_load(0, 500.0);
+    f.db.update_node_load(0, 7900.0);
+    f.db.update_node_queue(0, 5000.0);
+  });
+  feeder.start(10.0);
+  // Checks land at 21, 41, 61, ... streak of 3 completes at the third.
+  f.sim.run_until(55.0);
+  EXPECT_EQ(gen.overload_triggers(), 0u);  // streak not yet complete
+  f.sim.run_until(100.0);
+  EXPECT_GE(gen.overload_triggers(), 1u);
+}
+
+TEST(OverloadGate, StreakResetsWhenSignalClears) {
+  GateFixture f;
+  ScheduleGenerator gen(f.cluster, f.db, f.cfg);
+  gen.start();
+  f.cluster.submit(workload::make_throughput_test());
+  int tick = 0;
+  sim::PeriodicTask feeder(f.sim, 20.0, [&] {
+    f.db.update_executor_load(0, 500.0);
+    // Alternate: two hot samples, then a cold one — the streak of 3 never
+    // completes.
+    const bool hot = (tick++ % 3) != 2;
+    f.db.update_node_load(0, hot ? 7900.0 : 100.0);
+    f.db.update_node_queue(0, hot ? 5000.0 : 0.0);
+  });
+  feeder.start(10.0);
+  f.sim.run_until(600.0);
+  EXPECT_EQ(gen.overload_triggers(), 0u);
+}
+
+TEST(OverloadGate, SettleWindowSuppressesAfterPublish) {
+  GateFixture f;
+  f.cfg.gamma = 6.0;  // guarantees the generator publishes a consolidation
+  ScheduleGenerator gen(f.cluster, f.db, f.cfg);
+  gen.start();
+  f.cluster.submit(workload::make_throughput_test());
+
+  // Seed plausible loads/traffic so generate_now computes a placement.
+  for (auto task : f.cluster.tasks_of(0)) {
+    f.db.update_executor_load(task, 20.0);
+  }
+  f.sim.run_until(30.0);
+  ASSERT_TRUE(gen.generate_now());  // consolidation published at t=30
+
+  // Saturation signals right after the publish...
+  sim::PeriodicTask feeder(f.sim, 20.0, [&] {
+    f.db.update_node_load(0, 7900.0);
+    f.db.update_node_queue(0, 5000.0);
+  });
+  feeder.start(5.0);
+  // ...are ignored during the settle window...
+  f.sim.run_until(30.0 + f.cfg.post_reassignment_settle - 5.0);
+  EXPECT_EQ(gen.overload_triggers(), 0u);
+  // ...and honoured afterwards (streak of 3 checks past the window).
+  f.sim.run_until(30.0 + f.cfg.post_reassignment_settle + 100.0);
+  EXPECT_GE(gen.overload_triggers(), 1u);
+}
+
+TEST(OverloadGate, DisabledTriggerNeverFires) {
+  GateFixture f;
+  f.cfg.enable_overload_trigger = false;
+  ScheduleGenerator gen(f.cluster, f.db, f.cfg);
+  gen.start();
+  f.cluster.submit(workload::make_throughput_test());
+  sim::PeriodicTask feeder(f.sim, 20.0, [&] {
+    f.db.update_executor_load(0, 500.0);
+    f.db.update_node_load(0, 7900.0);
+    f.db.update_node_queue(0, 5000.0);
+  });
+  feeder.start(10.0);
+  f.sim.run_until(400.0);
+  EXPECT_EQ(gen.overload_triggers(), 0u);
+}
+
+}  // namespace
+}  // namespace tstorm::core

@@ -1,0 +1,225 @@
+// Integration tests pinning the paper's qualitative results (shortened
+// runs of the bench scenarios — the full 1000 s versions live in bench/).
+// If a code change breaks one of the reproduced shapes, these fail.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sched/manual.h"
+#include "workload/topologies.h"
+
+namespace tstorm {
+namespace {
+
+double storm_tt_mean(double duration) {
+  sim::Simulation sim;
+  core::StormSystem sys(sim);
+  sys.submit(workload::make_throughput_test());
+  sim.run_until(duration);
+  return sys.cluster()
+      .completion()
+      .proc_time_ms()
+      .mean_between(duration / 2, duration)
+      .value_or(-1);
+}
+
+struct TStormOutcome {
+  double mean_ms = -1;
+  int nodes = 0;
+};
+
+TStormOutcome tstorm_tt(double gamma, double duration) {
+  sim::Simulation sim;
+  core::CoreConfig core;
+  core.gamma = gamma;
+  core::TStormSystem sys(sim, {}, core);
+  sys.submit(workload::make_throughput_test());
+  sim.run_until(duration);
+  TStormOutcome out;
+  out.mean_ms = sys.cluster()
+                    .completion()
+                    .proc_time_ms()
+                    .mean_between(duration - 150, duration)
+                    .value_or(-1);
+  out.nodes = sys.cluster().nodes_in_use();
+  return out;
+}
+
+// Fig. 5(a): T-Storm beats Storm decisively at gamma=1 on the same nodes.
+TEST(PaperShapes, Fig5TStormBeatsStormOnThroughputTest) {
+  const double storm = storm_tt_mean(400);
+  const auto tstorm = tstorm_tt(1.0, 400);
+  ASSERT_GT(storm, 0);
+  ASSERT_GT(tstorm.mean_ms, 0);
+  // Paper: 83% reduction. Require at least 60% in the shortened run.
+  EXPECT_LT(tstorm.mean_ms, storm * 0.4);
+  EXPECT_EQ(tstorm.nodes, 10);
+}
+
+// Fig. 5(c): gamma=6 consolidates the light topology onto ~2 nodes while
+// keeping the speedup.
+TEST(PaperShapes, Fig5ConsolidationKeepsSpeedup) {
+  const double storm = storm_tt_mean(500);
+  const auto packed = tstorm_tt(6.0, 500);
+  EXPECT_LE(packed.nodes, 3);
+  EXPECT_LT(packed.mean_ms, storm * 0.5);
+}
+
+// Section III Observation 1 (Fig. 2): spreading a chain over more
+// workers/nodes strictly increases processing time.
+TEST(PaperShapes, Fig2SpreadingHurts) {
+  auto run_pinned = [](const sched::Placement& pin) {
+    sim::Simulation sim;
+    core::StormSystem sys(sim);
+    sys.submit_pinned(workload::make_chain(), pin);
+    sim.run_until(300.0);
+    return sys.cluster()
+        .completion()
+        .proc_time_ms()
+        .mean_between(100, 300)
+        .value_or(-1);
+  };
+  sched::Placement n1w1, n5w5, n5w10;
+  for (int t = 0; t < 10; ++t) {
+    n1w1[t] = 0;
+    n5w5[t] = (t % 5) * 4;
+    n5w10[t] = (t % 5) * 4 + t / 5;
+  }
+  const double one = run_pinned(n1w1);
+  const double five = run_pinned(n5w5);
+  const double ten = run_pinned(n5w10);
+  EXPECT_LT(one, five);
+  EXPECT_LT(five, ten);
+}
+
+// Section III Observation 2 (Fig. 3): overloading a node makes processing
+// time skyrocket and tuples fail.
+TEST(PaperShapes, Fig3OverloadSkyrockets) {
+  sim::Simulation sim;
+  runtime::ClusterConfig cfg;
+  cfg.smooth_reassignment = false;
+  cfg.max_replays = 0;
+  runtime::Cluster cluster(sim, cfg);
+  workload::ChainOptions opt;
+  opt.spout_parallelism = 5;
+  opt.bolt_cost_mc = 8.0;
+  opt.max_pending = 0;
+  sched::Placement pin;
+  for (int t = 0; t < 14; ++t) pin[t] = 0;
+  sched::ManualScheduler manual(std::move(pin));
+  cluster.submit(workload::make_chain(opt), &manual);
+  sim.run_until(180.0);
+  EXPECT_GT(cluster.completion().total_failed(), 1000u);
+  const auto late =
+      cluster.completion().proc_time_ms().mean_between(120, 180);
+  ASSERT_TRUE(late.has_value());
+  EXPECT_GT(*late, 1000.0);  // multi-second queueing delays
+}
+
+// Figs. 9/10: pinned to one worker, overloaded by a second stream; the
+// monitors detect it, the generator scales out, latency recovers.
+TEST(PaperShapes, Fig9OverloadDetectionAndRecovery) {
+  sim::Simulation sim;
+  core::CoreConfig core;
+  core.gamma = 2.0;
+  core::TStormSystem sys(sim, {}, core);
+  workload::WordCountOptions opt;
+  opt.max_pending = 0;
+  opt.emit_interval = 0.004;
+  auto wc = workload::make_word_count(opt);
+  workload::QueueProducer s1(sim, *wc.queue, 200.0);
+  workload::QueueProducer s2(sim, *wc.queue, 200.0);
+  s1.start();
+  s2.start(60.0);
+  sched::Placement pin;
+  for (int t = 0; t < 27; ++t) pin[t] = 0;
+  sys.submit_pinned(std::move(wc.topology), pin);
+
+  sim.run_until(150.0);
+  const auto during = sys.cluster()
+                          .completion()
+                          .proc_time_ms()
+                          .mean_between(100, 150)
+                          .value_or(0);
+  EXPECT_GT(during, 500.0);  // overloaded
+  EXPECT_EQ(sys.cluster().nodes_in_use(), 1);
+
+  sim.run_until(600.0);
+  EXPECT_GT(sys.generator().overload_triggers(), 0u);
+  EXPECT_GT(sys.cluster().nodes_in_use(), 1);  // scaled out
+  const auto after = sys.cluster()
+                         .completion()
+                         .proc_time_ms()
+                         .mean_between(450, 600)
+                         .value_or(1e9);
+  EXPECT_LT(after, during / 10);  // sharp drop
+}
+
+// Transparency: the same topology object runs under both systems without
+// modification.
+TEST(PaperShapes, TransparencyAcrossSystems) {
+  auto make = [] { return workload::make_throughput_test(); };
+  sim::Simulation s1;
+  core::StormSystem storm(s1);
+  storm.submit(make());
+  s1.run_until(100.0);
+  sim::Simulation s2;
+  core::TStormSystem tstorm(s2);
+  tstorm.submit(make());
+  s2.run_until(100.0);
+  EXPECT_GT(storm.cluster().completion().total_completed(), 1000u);
+  EXPECT_GT(tstorm.cluster().completion().total_completed(), 1000u);
+}
+
+// "Given M topologies": two topologies co-scheduled by one generator run,
+// never sharing a slot, both making progress.
+TEST(PaperShapes, MultipleTopologiesCoScheduled) {
+  sim::Simulation sim;
+  core::CoreConfig core;
+  core.gamma = 2.0;
+  core::TStormSystem sys(sim, {}, core);
+
+  workload::ThroughputTestOptions small;
+  small.spout_parallelism = 2;
+  small.identity_parallelism = 4;
+  small.counter_parallelism = 4;
+  small.ackers = 2;
+  small.workers = 10;
+  small.name = "tt-a";
+  const auto a = sys.submit(workload::make_throughput_test(small));
+  small.name = "tt-b";
+  small.seed = 77;
+  const auto b = sys.submit(workload::make_throughput_test(small));
+
+  sim.run_until(400.0);
+
+  // Both made progress.
+  EXPECT_GT(sys.cluster().completion().total_completed(), 10000u);
+  // Slot exclusivity across topologies, after any reassignments.
+  const auto* ra = sys.cluster().coordination().get(a);
+  const auto* rb = sys.cluster().coordination().get(b);
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+  std::set<sched::SlotIndex> slots_a;
+  for (const auto& [task, slot] : ra->placement) slots_a.insert(slot);
+  for (const auto& [task, slot] : rb->placement) {
+    EXPECT_FALSE(slots_a.contains(slot));
+  }
+}
+
+// Energy: consolidation must reduce operational cost (the motivation in
+// sections I and III).
+TEST(PaperShapes, ConsolidationReducesNodeSeconds) {
+  auto nodes_after = [](double gamma) {
+    sim::Simulation sim;
+    core::CoreConfig core;
+    core.gamma = gamma;
+    core::TStormSystem sys(sim, {}, core);
+    sys.submit(workload::make_throughput_test());
+    sim.run_until(400.0);
+    return sys.cluster().nodes_in_use();
+  };
+  EXPECT_GT(nodes_after(1.0), nodes_after(6.0));
+}
+
+}  // namespace
+}  // namespace tstorm

@@ -1,0 +1,157 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace tstorm::net {
+namespace {
+
+struct NetworkTest : ::testing::Test {
+  sim::Simulation sim;
+  NetworkConfig cfg;
+};
+
+double deliver_and_time(sim::Simulation& sim, Network& net, int src, int dst,
+                        LinkType type, std::uint64_t bytes,
+                        double extra = 0.0) {
+  double at = -1;
+  net.send(src, dst, type, bytes, [&] { at = sim.now(); }, extra);
+  sim.run();
+  return at;
+}
+
+TEST_F(NetworkTest, IntraProcessIsCheapest) {
+  Network net(sim, cfg, 4);
+  const double intra =
+      deliver_and_time(sim, net, 0, 0, LinkType::kIntraProcess, 1000);
+  sim::Simulation sim2;
+  Network net2(sim2, cfg, 4);
+  const double ipc =
+      deliver_and_time(sim2, net2, 0, 0, LinkType::kInterProcess, 1000);
+  sim::Simulation sim3;
+  Network net3(sim3, cfg, 4);
+  const double inode =
+      deliver_and_time(sim3, net3, 0, 1, LinkType::kInterNode, 1000);
+  EXPECT_LT(intra, ipc);
+  EXPECT_LT(ipc, inode);
+}
+
+TEST_F(NetworkTest, IntraProcessLatencyExact) {
+  Network net(sim, cfg, 2);
+  const double t =
+      deliver_and_time(sim, net, 1, 1, LinkType::kIntraProcess, 123456);
+  EXPECT_DOUBLE_EQ(t, cfg.intra_process_latency);
+}
+
+TEST_F(NetworkTest, InterNodeIncludesTransmissionTime) {
+  cfg.inter_node_latency = 0;
+  cfg.serialization_per_byte = 0;
+  cfg.header_bytes = 0;
+  Network net(sim, cfg, 2);
+  const std::uint64_t bytes = 125'000'000;  // exactly 1 s at 1 Gbps
+  const double t =
+      deliver_and_time(sim, net, 0, 1, LinkType::kInterNode, bytes);
+  EXPECT_NEAR(t, 1.0, 1e-9);
+}
+
+TEST_F(NetworkTest, NicEgressIsFifo) {
+  cfg.inter_node_latency = 0;
+  cfg.serialization_per_byte = 0;
+  cfg.header_bytes = 0;
+  Network net(sim, cfg, 2);
+  const std::uint64_t mb = 12'500'000;  // 0.1 s each
+  std::vector<double> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    net.send(0, 1, LinkType::kInterNode, mb,
+             [&] { deliveries.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_NEAR(deliveries[0], 0.1, 1e-9);
+  EXPECT_NEAR(deliveries[1], 0.2, 1e-9);  // queued behind the first
+  EXPECT_NEAR(deliveries[2], 0.3, 1e-9);
+}
+
+TEST_F(NetworkTest, SeparateNodesDoNotContend) {
+  cfg.inter_node_latency = 0;
+  cfg.serialization_per_byte = 0;
+  cfg.header_bytes = 0;
+  Network net(sim, cfg, 3);
+  const std::uint64_t mb = 12'500'000;
+  std::vector<double> deliveries;
+  net.send(0, 2, LinkType::kInterNode, mb,
+           [&] { deliveries.push_back(sim.now()); });
+  net.send(1, 2, LinkType::kInterNode, mb,
+           [&] { deliveries.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NEAR(deliveries[0], 0.1, 1e-9);
+  EXPECT_NEAR(deliveries[1], 0.1, 1e-9);  // different NICs, parallel
+}
+
+TEST_F(NetworkTest, ExtraLatencyAdds) {
+  Network net(sim, cfg, 2);
+  const double base =
+      deliver_and_time(sim, net, 0, 0, LinkType::kIntraProcess, 100);
+  sim::Simulation sim2;
+  Network net2(sim2, cfg, 2);
+  const double with_extra = deliver_and_time(
+      sim2, net2, 0, 0, LinkType::kIntraProcess, 100, 0.005);
+  EXPECT_NEAR(with_extra - base, 0.005, 1e-12);
+}
+
+TEST_F(NetworkTest, StatsTrackPerLinkClass) {
+  Network net(sim, cfg, 2);
+  net.send(0, 0, LinkType::kIntraProcess, 100, [] {});
+  net.send(0, 0, LinkType::kInterProcess, 200, [] {});
+  net.send(0, 1, LinkType::kInterNode, 300, [] {});
+  net.send(0, 1, LinkType::kInterNode, 400, [] {});
+  sim.run();
+  EXPECT_EQ(net.stats(LinkType::kIntraProcess).messages, 1u);
+  EXPECT_EQ(net.stats(LinkType::kIntraProcess).bytes, 100u);
+  EXPECT_EQ(net.stats(LinkType::kInterProcess).messages, 1u);
+  EXPECT_EQ(net.stats(LinkType::kInterNode).messages, 2u);
+  EXPECT_EQ(net.stats(LinkType::kInterNode).bytes, 700u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats(LinkType::kInterNode).messages, 0u);
+}
+
+TEST_F(NetworkTest, HeaderAmortizedByBatchFactor) {
+  cfg.inter_node_latency = 0;
+  cfg.serialization_per_byte = 0;
+  cfg.header_bytes = 400;
+  cfg.batch_factor = 4.0;
+  Network net(sim, cfg, 2);
+  // framed = payload + 400/4 = payload + 100 bytes.
+  const double t =
+      deliver_and_time(sim, net, 0, 1, LinkType::kInterNode, 125'000'000 - 100);
+  EXPECT_NEAR(t, 1.0, 1e-9);
+}
+
+TEST_F(NetworkTest, EstimateDelayMatchesActualForIdleLink) {
+  Network net(sim, cfg, 2);
+  const auto est = net.estimate_delay(0, LinkType::kInterNode, 5000);
+  const double t =
+      deliver_and_time(sim, net, 0, 1, LinkType::kInterNode, 5000);
+  EXPECT_NEAR(est, t, 1e-12);
+}
+
+TEST_F(NetworkTest, EstimateDelayReflectsQueueWait) {
+  cfg.inter_node_latency = 0;
+  cfg.serialization_per_byte = 0;
+  cfg.header_bytes = 0;
+  Network net(sim, cfg, 2);
+  net.send(0, 1, LinkType::kInterNode, 125'000'000, [] {});  // 1 s tx
+  const auto est = net.estimate_delay(0, LinkType::kInterNode, 125'000'000);
+  EXPECT_NEAR(est, 2.0, 1e-9);  // 1 s queue wait + 1 s tx
+}
+
+TEST_F(NetworkTest, LinkTypeNames) {
+  EXPECT_STREQ(to_string(LinkType::kIntraProcess), "intra-process");
+  EXPECT_STREQ(to_string(LinkType::kInterProcess), "inter-process");
+  EXPECT_STREQ(to_string(LinkType::kInterNode), "inter-node");
+}
+
+}  // namespace
+}  // namespace tstorm::net

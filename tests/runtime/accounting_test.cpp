@@ -1,0 +1,211 @@
+// CPU/traffic accounting (the load monitor's raw inputs) and whole-system
+// determinism.
+#include <gtest/gtest.h>
+
+#include "core/load_monitor.h"
+#include "core/metrics_db.h"
+#include "runtime/cluster.h"
+#include "sched/manual.h"
+#include "test_util.h"
+
+namespace tstorm::runtime {
+namespace {
+
+using testutil::RecordingBolt;
+using testutil::SeqSpout;
+
+/// Emits forever at the poll rate with a fixed per-emission CPU cost.
+class SteadySpout : public topo::Spout {
+ public:
+  explicit SteadySpout(double cost_mc) : cost_mc_(cost_mc) {}
+  std::optional<topo::Tuple> next_tuple() override {
+    return topo::Tuple{counter_++};
+  }
+  double cpu_cost_mega_cycles() const override { return cost_mc_; }
+
+ private:
+  double cost_mc_;
+  std::int64_t counter_ = 0;
+};
+
+class FixedCostBolt : public topo::Bolt {
+ public:
+  explicit FixedCostBolt(double cost_mc) : cost_mc_(cost_mc) {}
+  void execute(const topo::Tuple&, topo::BoltContext&) override {}
+  double cpu_cost_mega_cycles(const topo::Tuple&) const override {
+    return cost_mc_;
+  }
+
+ private:
+  double cost_mc_;
+};
+
+topo::Topology steady_topology(double spout_cost, double bolt_cost,
+                               double interval) {
+  topo::TopologyBuilder b;
+  b.set_spout("s",
+              [spout_cost] { return std::make_unique<SteadySpout>(spout_cost); },
+              1)
+      .output_fields({"v"})
+      .emit_interval(interval);
+  b.set_bolt("b",
+             [bolt_cost] { return std::make_unique<FixedCostBolt>(bolt_cost); },
+             1)
+      .shuffle_grouping("s");
+  return b.build("steady", 1, 1);
+}
+
+TEST(Accounting, ExecutorLoadMatchesRateTimesCost) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  // 100 tuples/s, bolt costs 2 mega-cycles each => 200 MHz.
+  sched::ManualScheduler manual(sched::Placement{{0, 0}});
+  const auto id = c.submit(steady_topology(0.5, 2.0, 0.01), &manual);
+  sim.run_until(60.0);  // past startup
+
+  core::MetricsDb db(0.5);
+  core::LoadMonitor monitor(c, db, 0, 20.0);
+  monitor.start(20.0);
+  sim.run_until(200.0);  // several EWMA samples of steady state
+
+  const auto bolt_task = c.tasks_of_component(id, "b").front();
+  EXPECT_NEAR(db.executor_load(bolt_task), 200.0, 20.0);
+  const auto spout_task = c.tasks_of_component(id, "s").front();
+  // Spout: 100 emits/s * 0.5 mc + ~100 ack-completes/s * control cost.
+  EXPECT_NEAR(db.executor_load(spout_task), 51.0, 10.0);
+}
+
+TEST(Accounting, NodeLoadSumsExecutors) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  sched::ManualScheduler manual(sched::Placement{{0, 0}});
+  c.submit(steady_topology(0.5, 2.0, 0.01), &manual);
+  sim.run_until(60.0);
+  core::MetricsDb db(0.5);
+  core::LoadMonitor monitor(c, db, 0, 20.0);
+  monitor.start(20.0);
+  sim.run_until(200.0);
+  // Node load ~ spout + bolt + acker contribution.
+  EXPECT_GT(db.node_load(0), 230.0);
+  EXPECT_LT(db.node_load(0), 320.0);
+}
+
+TEST(Accounting, TrafficRateMatchesTupleRate) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  sched::ManualScheduler manual(sched::Placement{{0, 0}});
+  const auto id = c.submit(steady_topology(0.5, 2.0, 0.01), &manual);
+  sim.run_until(60.0);
+  core::MetricsDb db(0.5);
+  core::LoadMonitor monitor(c, db, 0, 20.0);
+  monitor.start(20.0);
+  sim.run_until(200.0);
+
+  const auto spout = c.tasks_of_component(id, "s").front();
+  const auto bolt = c.tasks_of_component(id, "b").front();
+  bool found = false;
+  for (const auto& e : db.traffic_snapshot()) {
+    if (e.src == spout && e.dst == bolt) {
+      EXPECT_NEAR(e.rate, 100.0, 10.0);  // 100 tuples/s
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Accounting, TakeSentResetsBetweenSamples) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  sched::ManualScheduler manual(sched::Placement{{0, 0}});
+  const auto id = c.submit(steady_topology(0.5, 2.0, 0.01), &manual);
+  sim.run_until(60.0);
+  const auto spout = c.tasks_of_component(id, "s").front();
+  Executor* ex = c.instances_of(spout).front();
+  (void)ex->take_sent();
+  (void)ex->take_mega_cycles();
+  sim.run_until(70.0);
+  const auto sent = ex->take_sent();
+  std::uint64_t total = 0;
+  for (const auto& [dst, n] : sent) total += n;
+  // ~100 data tuples + ~100 ack-inits over 10 s.
+  EXPECT_NEAR(static_cast<double>(total), 2000.0, 300.0);
+  // Second take immediately after is empty.
+  EXPECT_TRUE(ex->take_sent().empty());
+}
+
+TEST(Accounting, QueueDepthGrowsUnderSaturation) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.max_replays = 0;
+  Cluster c(sim, cfg);
+  sched::ManualScheduler manual(sched::Placement{{0, 0}});
+  // 100 tuples/s into a bolt that takes 50 ms each: 5x overload.
+  const auto id = c.submit(steady_topology(0.5, 100.0, 0.01), &manual);
+  sim.run_until(120.0);
+  const auto bolt = c.tasks_of_component(id, "b").front();
+  Executor* ex = c.instances_of(bolt).front();
+  EXPECT_GT(ex->queue_depth(), 100u);
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalResults) {
+  auto run_once = [] {
+    sim::Simulation sim;
+    ClusterConfig cfg;
+    cfg.seed = 123;
+    Cluster c(sim, cfg);
+    auto counter = std::make_shared<std::int64_t>(0);
+    auto log = std::make_shared<RecordingBolt::Log>();
+    topo::TopologyBuilder b;
+    b.set_spout("s",
+                [counter] {
+                  return std::make_unique<SeqSpout>(counter, 1'000'000);
+                },
+                2)
+        .output_fields({"v"})
+        .emit_interval(0.003);
+    b.set_bolt("x", [log] { return std::make_unique<RecordingBolt>(log); },
+               3)
+        .shuffle_grouping("s");
+    c.submit(b.build("det", 4, 2));
+    sim.run_until(120.0);
+    return std::tuple{c.completion().total_completed(),
+                      c.completion().total_failed(),
+                      sim.events_executed(), *counter, log->size()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, SeedChangesTrajectory) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    ClusterConfig cfg;
+    cfg.seed = seed;
+    Cluster c(sim, cfg);
+    auto counter = std::make_shared<std::int64_t>(0);
+    auto log = std::make_shared<RecordingBolt::Log>();
+    topo::TopologyBuilder b;
+    b.set_spout("s",
+                [counter] {
+                  return std::make_unique<SeqSpout>(counter, 1'000'000);
+                },
+                1)
+        .output_fields({"v"})
+        .emit_interval(0.003);
+    b.set_bolt("x", [log] { return std::make_unique<RecordingBolt>(log); },
+               3)
+        .shuffle_grouping("s");
+    c.submit(b.build("det", 4, 2));
+    sim.run_until(60.0);
+    // The shuffle counters differ with the seed offsets... routing is
+    // seeded by task ids (deterministic), but XOR edge ids come from the
+    // cluster RNG; event interleavings shift slightly.
+    return sim.events_executed();
+  };
+  // Different seeds may legitimately coincide in event count, but the
+  // deterministic path must at least be stable per seed.
+  EXPECT_EQ(run_with_seed(7), run_with_seed(7));
+  EXPECT_EQ(run_with_seed(8), run_with_seed(8));
+}
+
+}  // namespace
+}  // namespace tstorm::runtime

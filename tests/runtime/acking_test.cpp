@@ -1,0 +1,275 @@
+// End-to-end acking / grouping semantics: tuples flow through executors
+// over the modeled network, ack XOR trees complete at acker tasks, the
+// tracker records completion times, and each grouping routes as specified.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "runtime/cluster.h"
+#include "test_util.h"
+
+namespace tstorm::runtime {
+namespace {
+
+using testutil::RecordingBolt;
+using testutil::SeqSpout;
+
+struct Built {
+  std::shared_ptr<std::int64_t> counter = std::make_shared<std::int64_t>(0);
+  std::shared_ptr<RecordingBolt::Log> log =
+      std::make_shared<RecordingBolt::Log>();
+  std::shared_ptr<bool> gate = std::make_shared<bool>(false);
+};
+
+/// Lets the staggered supervisors start every worker, then opens the gate.
+void open_after_startup(sim::Simulation& sim, Built& built,
+                        sim::Time t = 15.0) {
+  sim.run_until(t);
+  *built.gate = true;
+}
+
+topo::Topology grouping_topology(Built& built, topo::GroupingType g,
+                                 int bolt_parallelism, int n_tuples,
+                                 int ackers = 2) {
+  topo::TopologyBuilder b;
+  auto counter = built.counter;
+  auto gate = built.gate;
+  b.set_spout(
+       "s", [counter, gate, n_tuples] {
+         return std::make_unique<SeqSpout>(counter, n_tuples, gate);
+       },
+       1)
+      .output_fields({"v"})
+      .emit_interval(0.001);
+  auto log = built.log;
+  auto decl = b.set_bolt(
+      "b", [log] { return std::make_unique<RecordingBolt>(log); },
+      bolt_parallelism);
+  switch (g) {
+    case topo::GroupingType::kShuffle:
+      decl.shuffle_grouping("s");
+      break;
+    case topo::GroupingType::kFields:
+      decl.fields_grouping("s", "v");
+      break;
+    case topo::GroupingType::kAll:
+      decl.all_grouping("s");
+      break;
+    case topo::GroupingType::kGlobal:
+      decl.global_grouping("s");
+      break;
+    case topo::GroupingType::kDirect:
+      decl.direct_grouping("s");
+      break;
+  }
+  return b.build("grouping", 4, ackers);
+}
+
+TEST(Acking, AllTuplesCompleteOnHealthyTopology) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  c.submit(grouping_topology(built, topo::GroupingType::kShuffle, 3, 200));
+  open_after_startup(sim, built);
+  sim.run_until(60.0);
+  EXPECT_EQ(c.completion().total_completed(), 200u);
+  EXPECT_EQ(c.completion().total_failed(), 0u);
+  EXPECT_EQ(built.log->size(), 200u);
+}
+
+TEST(Acking, ProcessingTimesArePositiveAndSmall) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  c.submit(grouping_topology(built, topo::GroupingType::kShuffle, 3, 100));
+  open_after_startup(sim, built);
+  sim.run_until(60.0);
+  const auto mean = c.completion().proc_time_ms().mean_between(0, 60);
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_GT(*mean, 0.0);
+  EXPECT_LT(*mean, 100.0);
+}
+
+TEST(Acking, ZeroAckersMeansNoTracking) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  c.submit(grouping_topology(built, topo::GroupingType::kShuffle, 3, 100,
+                             /*ackers=*/0));
+  open_after_startup(sim, built);
+  sim.run_until(60.0);
+  EXPECT_EQ(c.completion().total_completed(), 0u);  // nothing tracked
+  EXPECT_EQ(c.completion().total_failed(), 0u);
+  EXPECT_EQ(built.log->size(), 100u);  // data still flows
+}
+
+TEST(Grouping, ShuffleDistributesEvenly) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  c.submit(grouping_topology(built, topo::GroupingType::kShuffle, 4, 400));
+  open_after_startup(sim, built);
+  sim.run_until(60.0);
+  std::map<int, int> per_task;
+  for (const auto& [idx, v] : *built.log) per_task[idx]++;
+  ASSERT_EQ(per_task.size(), 4u);
+  // Storm guarantee: "each task is guaranteed to receive an equal number
+  // of tuples" (round-robin shuffle).
+  for (const auto& [idx, n] : per_task) EXPECT_EQ(n, 100);
+}
+
+TEST(Grouping, FieldsSendsEqualKeysToSameTask) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  c.submit(grouping_topology(built, topo::GroupingType::kFields, 4, 300));
+  open_after_startup(sim, built);
+  sim.run_until(60.0);
+  std::map<std::int64_t, std::set<int>> tasks_per_key;
+  for (const auto& [idx, v] : *built.log) {
+    tasks_per_key[v % 7].insert(idx);  // SeqSpout values are unique...
+  }
+  // Re-run logic: keys are the raw values (all unique), so instead check
+  // determinism directly: same value never lands on two tasks.
+  std::map<std::int64_t, std::set<int>> by_value;
+  for (const auto& [idx, v] : *built.log) by_value[v].insert(idx);
+  for (const auto& [v, tasks] : by_value) EXPECT_EQ(tasks.size(), 1u);
+}
+
+TEST(Grouping, AllBroadcastsToEveryTask) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  c.submit(grouping_topology(built, topo::GroupingType::kAll, 3, 100));
+  open_after_startup(sim, built);
+  sim.run_until(60.0);
+  EXPECT_EQ(built.log->size(), 300u);
+  std::map<int, int> per_task;
+  for (const auto& [idx, v] : *built.log) per_task[idx]++;
+  for (const auto& [idx, n] : per_task) EXPECT_EQ(n, 100);
+  // Acking still completes: every broadcast copy is part of the tree.
+  EXPECT_EQ(c.completion().total_completed(), 100u);
+}
+
+TEST(Grouping, GlobalRoutesToSingleTask) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  c.submit(grouping_topology(built, topo::GroupingType::kGlobal, 3, 100));
+  open_after_startup(sim, built);
+  sim.run_until(60.0);
+  std::set<int> tasks;
+  for (const auto& [idx, v] : *built.log) tasks.insert(idx);
+  EXPECT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(built.log->size(), 100u);
+}
+
+TEST(Grouping, DirectWithoutEmitDirectDeliversNothing) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  c.submit(grouping_topology(built, topo::GroupingType::kDirect, 3, 50));
+  open_after_startup(sim, built);
+  sim.run_until(60.0);
+  EXPECT_TRUE(built.log->empty());
+  // The spout's tree is just the (empty) emission: completes immediately.
+  EXPECT_EQ(c.completion().total_completed(), 50u);
+}
+
+// A bolt that fans out via emit_direct, round-robin over consumer tasks.
+class DirectFanBolt : public topo::Bolt {
+ public:
+  explicit DirectFanBolt(int consumers) : consumers_(consumers) {}
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    ctx.emit_direct("sink", static_cast<int>(input.get_int(0)) % consumers_,
+                    input);
+  }
+  double cpu_cost_mega_cycles(const topo::Tuple&) const override {
+    return 0.1;
+  }
+
+ private:
+  int consumers_;
+};
+
+TEST(Grouping, EmitDirectTargetsChosenTask) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  auto counter = std::make_shared<std::int64_t>(0);
+  auto log = std::make_shared<RecordingBolt::Log>();
+  auto gate = std::make_shared<bool>(false);
+  topo::TopologyBuilder b;
+  b.set_spout("s",
+              [counter, gate] {
+                return std::make_unique<SeqSpout>(counter, 90, gate);
+              },
+              1)
+      .output_fields({"v"})
+      .emit_interval(0.001);
+  b.set_bolt("fan", [] { return std::make_unique<DirectFanBolt>(3); }, 1)
+      .output_fields({"v"})
+      .shuffle_grouping("s");
+  b.set_bolt("sink", [log] { return std::make_unique<RecordingBolt>(log); },
+             3)
+      .direct_grouping("fan");
+  c.submit(b.build("direct", 4, 2));
+  sim.run_until(15.0);
+  *gate = true;
+  sim.run_until(60.0);
+  ASSERT_EQ(log->size(), 90u);
+  for (const auto& [idx, v] : *log) EXPECT_EQ(idx, v % 3);
+  EXPECT_EQ(c.completion().total_completed(), 90u);
+}
+
+TEST(Acking, MultiStageTreeCompletes) {
+  // spout -> forward -> forward -> sink; the XOR tree spans three bolts.
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  auto counter = std::make_shared<std::int64_t>(0);
+  auto log = std::make_shared<RecordingBolt::Log>();
+  auto gate = std::make_shared<bool>(false);
+  topo::TopologyBuilder b;
+  b.set_spout("s",
+              [counter, gate] {
+                return std::make_unique<SeqSpout>(counter, 150, gate);
+              },
+              2)
+      .output_fields({"v"})
+      .emit_interval(0.001);
+  b.set_bolt("f1",
+             [log] { return std::make_unique<RecordingBolt>(log, 0.1, true); },
+             2)
+      .output_fields({"v"})
+      .shuffle_grouping("s");
+  b.set_bolt("f2",
+             [log] { return std::make_unique<RecordingBolt>(log, 0.1, true); },
+             2)
+      .output_fields({"v"})
+      .shuffle_grouping("f1");
+  b.set_bolt("sink",
+             [log] { return std::make_unique<RecordingBolt>(log); }, 2)
+      .shuffle_grouping("f2");
+  c.submit(b.build("chain3", 6, 3));
+  sim.run_until(15.0);
+  *gate = true;
+  sim.run_until(60.0);
+  EXPECT_EQ(c.completion().total_completed(), 150u);
+  EXPECT_EQ(c.completion().total_failed(), 0u);
+  EXPECT_EQ(log->size(), 450u);
+}
+
+TEST(Acking, SharedSpoutStateSplitsWorkAcrossTasks) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  Built built;
+  auto t = grouping_topology(built, topo::GroupingType::kShuffle, 2, 400);
+  c.submit(std::move(t));
+  open_after_startup(sim, built);
+  sim.run_until(120.0);
+  // Exactly n tuples total despite 1 spout task + shared counter.
+  EXPECT_EQ(c.completion().total_completed(), 400u);
+}
+
+}  // namespace
+}  // namespace tstorm::runtime

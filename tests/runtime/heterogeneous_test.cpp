@@ -1,0 +1,153 @@
+// Heterogeneous clusters: "different worker nodes may have different
+// numbers of slots" (paper section II) — and, in this implementation,
+// different core counts and clock speeds too.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "runtime/cluster.h"
+#include "sched/manual.h"
+#include "workload/external_queue.h"
+#include "test_util.h"
+#include "workload/topologies.h"
+
+namespace tstorm::runtime {
+namespace {
+
+ClusterConfig mixed_cluster() {
+  ClusterConfig cfg;
+  cfg.nodes = {
+      {2, 2, 1000.0},  // small node: 2 slots, 2 cores, 1 GHz
+      {4, 4, 2000.0},  // the reference blade
+      {8, 8, 3000.0},  // big node
+  };
+  return cfg;
+}
+
+TEST(Heterogeneous, SlotIndexingWithVariableSlotCounts) {
+  sim::Simulation sim;
+  Cluster c(sim, mixed_cluster());
+  EXPECT_EQ(c.num_nodes(), 3);
+  EXPECT_EQ(c.total_slots(), 14);
+  EXPECT_EQ(c.slots_on_node(0), 2);
+  EXPECT_EQ(c.slots_on_node(1), 4);
+  EXPECT_EQ(c.slots_on_node(2), 8);
+
+  // Round trips across the node boundaries.
+  int expected_slot = 0;
+  for (int n = 0; n < 3; ++n) {
+    for (int p = 0; p < c.slots_on_node(n); ++p) {
+      const auto s = c.slot_index(n, p);
+      EXPECT_EQ(s, expected_slot++);
+      EXPECT_EQ(c.slot_node(s), n);
+      EXPECT_EQ(c.slot_port(s), p);
+    }
+  }
+  EXPECT_EQ(c.all_slots().size(), 14u);
+}
+
+TEST(Heterogeneous, NodeHardwareFromSpecs) {
+  sim::Simulation sim;
+  Cluster c(sim, mixed_cluster());
+  EXPECT_EQ(c.node(0).cores(), 2);
+  EXPECT_DOUBLE_EQ(c.node(0).capacity_mhz(), 2000.0);
+  EXPECT_EQ(c.node(2).cores(), 8);
+  EXPECT_DOUBLE_EQ(c.node(2).capacity_mhz(), 24000.0);
+}
+
+TEST(Heterogeneous, SchedulerInputCarriesPerNodeCapacity) {
+  sim::Simulation sim;
+  Cluster c(sim, mixed_cluster());
+  const auto in = c.scheduler_input({});
+  ASSERT_EQ(in.node_capacity_mhz.size(), 3u);
+  EXPECT_DOUBLE_EQ(in.node_capacity_mhz[0], 2000.0);
+  EXPECT_DOUBLE_EQ(in.node_capacity_mhz[1], 8000.0);
+  EXPECT_DOUBLE_EQ(in.node_capacity_mhz[2], 24000.0);
+  EXPECT_EQ(in.slots.size(), 14u);
+}
+
+TEST(Heterogeneous, TopologyRunsEndToEnd) {
+  sim::Simulation sim;
+  Cluster c(sim, mixed_cluster());
+  auto counter = std::make_shared<std::int64_t>(0);
+  auto gate = std::make_shared<bool>(false);
+  auto log = std::make_shared<testutil::RecordingBolt::Log>();
+  topo::TopologyBuilder b;
+  b.set_spout("s",
+              [counter, gate] {
+                return std::make_unique<testutil::SeqSpout>(counter, 500,
+                                                            gate);
+              },
+              1)
+      .output_fields({"v"})
+      .emit_interval(0.002);
+  b.set_bolt("b",
+             [log] { return std::make_unique<testutil::RecordingBolt>(log); },
+             3)
+      .shuffle_grouping("s");
+  c.submit(b.build("hetero", 3, 2));
+  sim.run_until(15.0);
+  *gate = true;
+  sim.run_until(120.0);
+  EXPECT_EQ(c.completion().total_completed(), 500u);
+  EXPECT_EQ(c.completion().total_failed(), 0u);
+}
+
+TEST(Heterogeneous, TStormSchedulesWithinPerNodeCapacity) {
+  sim::Simulation sim;
+  core::CoreConfig core;
+  core.gamma = 10.0;  // packing limited by capacity, not count
+  ClusterConfig cfg = mixed_cluster();
+  core::TStormSystem sys(sim, cfg, core);
+  auto wc = workload::make_word_count();
+  workload::QueueProducer producer(sim, *wc.queue, 200.0);
+  producer.start();
+  sys.submit(std::move(wc.topology));
+  sim.run_until(600.0);
+  // The big node can absorb far more than the small one; the system stays
+  // healthy either way.
+  EXPECT_EQ(sys.cluster().completion().total_failed(), 0u);
+  EXPECT_GT(sys.cluster().completion().total_completed(), 10000u);
+}
+
+TEST(Heterogeneous, SlowNodeRunsSlower) {
+  // The same bolt cost takes twice as long on a 1 GHz node as on a 2 GHz
+  // node: pin one topology to each and compare.
+  auto run_on_node = [](int node) {
+    sim::Simulation sim;
+    ClusterConfig cfg;
+    cfg.nodes = {{4, 4, 1000.0}, {4, 4, 2000.0}};
+    Cluster c(sim, cfg);
+    auto counter = std::make_shared<std::int64_t>(0);
+    auto gate = std::make_shared<bool>(false);
+    auto log = std::make_shared<testutil::RecordingBolt::Log>();
+    topo::TopologyBuilder b;
+    b.set_spout("s",
+                [counter, gate] {
+                  return std::make_unique<testutil::SeqSpout>(counter, 2000,
+                                                              gate);
+                },
+                1)
+        .output_fields({"v"})
+        .emit_interval(0.005);
+    b.set_bolt("b",
+               [log] {
+                 return std::make_unique<testutil::RecordingBolt>(log, 10.0);
+               },
+               1)
+        .shuffle_grouping("s");
+    sched::Placement pin;
+    for (int t = 0; t < 3; ++t) pin[t] = c.slot_index(node, 0);
+    sched::ManualScheduler manual(std::move(pin));
+    c.submit(b.build("pinned", 1, 1), &manual);
+    sim.run_until(15.0);
+    *gate = true;
+    sim.run_until(120.0);
+    return c.completion().proc_time_ms().mean_between(20, 120).value_or(0);
+  };
+  const double slow = run_on_node(0);
+  const double fast = run_on_node(1);
+  EXPECT_GT(slow, fast * 1.5);
+}
+
+}  // namespace
+}  // namespace tstorm::runtime

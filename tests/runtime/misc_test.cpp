@@ -1,0 +1,169 @@
+// Odds and ends: spout ack/fail callbacks, envelope sizing, repeated
+// reassignment (three worker generations), and executor queue drop
+// accounting.
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+#include "sched/manual.h"
+#include "test_util.h"
+
+namespace tstorm::runtime {
+namespace {
+
+using testutil::RecordingBolt;
+using testutil::SlowBolt;
+
+/// Spout that records its ack/fail callbacks.
+class CallbackSpout : public topo::Spout {
+ public:
+  CallbackSpout(std::shared_ptr<std::int64_t> acks,
+                std::shared_ptr<std::int64_t> fails, std::int64_t limit)
+      : acks_(std::move(acks)), fails_(std::move(fails)), limit_(limit) {}
+
+  std::optional<topo::Tuple> next_tuple() override {
+    if (emitted_ >= limit_) return std::nullopt;
+    return topo::Tuple{emitted_++};
+  }
+  void on_ack(std::uint64_t) override { ++*acks_; }
+  void on_fail(std::uint64_t) override { ++*fails_; }
+  double cpu_cost_mega_cycles() const override { return 0.1; }
+
+ private:
+  std::shared_ptr<std::int64_t> acks_;
+  std::shared_ptr<std::int64_t> fails_;
+  std::int64_t limit_;
+  std::int64_t emitted_ = 0;
+};
+
+TEST(SpoutCallbacks, AcksDelivered) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  auto acks = std::make_shared<std::int64_t>(0);
+  auto fails = std::make_shared<std::int64_t>(0);
+  topo::TopologyBuilder b;
+  b.set_spout("s",
+              [acks, fails] {
+                return std::make_unique<CallbackSpout>(acks, fails, 100000);
+              },
+              1)
+      .output_fields({"v"})
+      .emit_interval(0.005);
+  auto log = std::make_shared<RecordingBolt::Log>();
+  b.set_bolt("b", [log] { return std::make_unique<RecordingBolt>(log); }, 2)
+      .shuffle_grouping("s");
+  c.submit(b.build("cb", 2, 1));
+  sim.run_until(120.0);
+  EXPECT_GT(*acks, 1000);
+  EXPECT_EQ(*acks,
+            static_cast<std::int64_t>(c.completion().total_completed()));
+}
+
+TEST(SpoutCallbacks, FailsDeliveredOnTimeout) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.max_replays = 0;
+  cfg.tuple_timeout = 5.0;
+  Cluster c(sim, cfg);
+  auto acks = std::make_shared<std::int64_t>(0);
+  auto fails = std::make_shared<std::int64_t>(0);
+  topo::TopologyBuilder b;
+  b.set_spout("s",
+              [acks, fails] {
+                return std::make_unique<CallbackSpout>(acks, fails, 5);
+              },
+              1)
+      .output_fields({"v"})
+      .emit_interval(0.005);
+  // 10 s service on a 2 GHz core: every tuple times out at 5 s.
+  b.set_bolt("slow", [] { return std::make_unique<SlowBolt>(20000.0); }, 1)
+      .shuffle_grouping("s");
+  sched::ManualScheduler manual(sched::Placement{{0, 0}});
+  c.submit(b.build("cbf", 1, 1), &manual);
+  sim.run_until(120.0);
+  EXPECT_EQ(*fails, 5);
+}
+
+TEST(Envelope, ByteSizing) {
+  Envelope control;
+  control.kind = MsgKind::kAck;
+  EXPECT_EQ(control.bytes(), 28u);
+
+  Envelope data;
+  data.kind = MsgKind::kData;
+  data.tuple =
+      std::make_shared<const topo::Tuple>(topo::Tuple{std::string(100, 'x')});
+  EXPECT_EQ(data.bytes(), 28u + 8u + 104u);
+}
+
+TEST(Dispatcher, SurvivesThreeGenerations) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.smooth_reassignment = true;
+  Cluster c(sim, cfg);
+  auto acks = std::make_shared<std::int64_t>(0);
+  auto fails = std::make_shared<std::int64_t>(0);
+  topo::TopologyBuilder b;
+  b.set_spout("s",
+              [acks, fails] {
+                return std::make_unique<CallbackSpout>(acks, fails,
+                                                       1'000'000);
+              },
+              1)
+      .output_fields({"v"})
+      .emit_interval(0.005);
+  auto log = std::make_shared<RecordingBolt::Log>();
+  b.set_bolt("b", [log] { return std::make_unique<RecordingBolt>(log); }, 2)
+      .shuffle_grouping("s");
+  const auto id = c.submit(b.build("gen3", 2, 1));
+  sim.run_until(60.0);
+
+  // Three successive migrations: node 5, node 7, node 9.
+  for (int target : {5, 7, 9}) {
+    sched::Placement p;
+    for (auto t : c.tasks_of(id)) p[t] = c.slot_index(target, 0);
+    ASSERT_TRUE(
+        c.nimbus().apply_placement(id, p, c.nimbus().next_version()));
+    sim.run_until(sim.now() + 60.0);
+  }
+  // Smooth handovers throughout: no drops, no failures; everything on 9.
+  EXPECT_EQ(c.dropped_messages(), 0u);
+  EXPECT_EQ(c.completion().total_failed(), 0u);
+  EXPECT_EQ(c.nodes_in_use(), 1);
+  for (auto* ex : c.executors_on_node(9)) {
+    EXPECT_EQ(ex->info().topology, id);
+  }
+}
+
+TEST(ExecutorDrops, ShutdownCountsQueuedDataTuples) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.max_replays = 0;
+  Cluster c(sim, cfg);
+  auto acks = std::make_shared<std::int64_t>(0);
+  auto fails = std::make_shared<std::int64_t>(0);
+  topo::TopologyBuilder b;
+  b.set_spout("s",
+              [acks, fails] {
+                return std::make_unique<CallbackSpout>(acks, fails,
+                                                       1'000'000);
+              },
+              1)
+      .output_fields({"v"})
+      .emit_interval(0.002);
+  b.set_bolt("slow", [] { return std::make_unique<SlowBolt>(100.0); }, 1)
+      .shuffle_grouping("s");
+  const auto id = c.submit(b.build("drops", 2, 1));
+  sim.run_until(60.0);
+  // The slow bolt has a deep queue; killing its worker drops everything.
+  const auto bolt = c.tasks_of_component(id, "slow").front();
+  const auto slot = c.coordination().get(id)->placement.at(bolt);
+  Executor* ex = c.instances_of(bolt).front();
+  const auto queued = ex->queue_depth();
+  EXPECT_GT(queued, 10u);
+  const auto drops_before = c.dropped_messages();
+  ASSERT_TRUE(c.kill_worker(c.slot_node(slot), c.slot_port(slot)));
+  EXPECT_GE(c.dropped_messages(), drops_before + queued);
+}
+
+}  // namespace
+}  // namespace tstorm::runtime

@@ -1,0 +1,202 @@
+// Reassignment semantics: stock Storm's abrupt worker replacement versus
+// T-Storm's smooth procedure (new workers first, delayed shutdown, spout
+// halt, dispatcher routing by assignment version) — paper section IV-D.
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+#include "test_util.h"
+
+namespace tstorm::runtime {
+namespace {
+
+using testutil::RecordingBolt;
+using testutil::SeqSpout;
+
+struct Fixture {
+  std::shared_ptr<std::int64_t> counter = std::make_shared<std::int64_t>(0);
+  std::shared_ptr<RecordingBolt::Log> log =
+      std::make_shared<RecordingBolt::Log>();
+
+  topo::Topology topology(std::int64_t n_tuples = 1'000'000) {
+    topo::TopologyBuilder b;
+    auto c = counter;
+    b.set_spout("s",
+                [c, n_tuples] { return std::make_unique<SeqSpout>(c, n_tuples); },
+                1)
+        .output_fields({"v"})
+        .emit_interval(0.005);
+    auto l = log;
+    b.set_bolt("b", [l] { return std::make_unique<RecordingBolt>(l); }, 2)
+        .shuffle_grouping("s");
+    return b.build("reassign", 3, 1);
+  }
+};
+
+/// Moves every task of `topo` to the slots of `target_node`.
+void move_to_node(Cluster& c, sched::TopologyId topo, int target_node) {
+  sched::Placement p;
+  int port = 0;
+  // One slot per topology per node: put everything in one worker.
+  for (auto t : c.tasks_of(topo)) {
+    p[t] = c.slot_index(target_node, port);
+  }
+  ASSERT_TRUE(c.nimbus().apply_placement(topo, p, c.nimbus().next_version()));
+}
+
+TEST(Reassignment, StormModeRestartsWorkersAbruptly) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.smooth_reassignment = false;
+  Cluster c(sim, cfg);
+  Fixture f;
+  const auto id = c.submit(f.topology());
+  sim.run_until(60.0);
+  const auto completed_before = c.completion().total_completed();
+  EXPECT_GT(completed_before, 0u);
+
+  move_to_node(c, id, 9);
+  sim.run_until(65.0);  // before the next supervisor sync completes startup
+  // Old workers die at sync; new worker needs spawn delay: there is a
+  // window with no live instance.
+  sim.run_until(120.0);
+  EXPECT_GT(c.dropped_messages(), 0u);
+  // The topology recovers and continues completing tuples.
+  const auto after = c.completion().total_completed();
+  EXPECT_GT(after, completed_before);
+  // Everything now runs on node 9, in a single worker.
+  for (auto* ex : c.executors_on_node(9)) {
+    EXPECT_EQ(ex->info().topology, id);
+  }
+  EXPECT_EQ(c.nodes_in_use(), 1);
+}
+
+TEST(Reassignment, TStormModeAvoidsTupleLoss) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.smooth_reassignment = true;
+  Cluster c(sim, cfg);
+  Fixture f;
+  const auto id = c.submit(f.topology());
+  sim.run_until(60.0);
+  const auto drops_before = c.dropped_messages();
+  const auto failed_before = c.completion().total_failed();
+
+  move_to_node(c, id, 9);
+  sim.run_until(150.0);
+  // Smooth handover: no tuple loss and no failures beyond the baseline.
+  EXPECT_EQ(c.completion().total_failed(), failed_before);
+  EXPECT_EQ(c.dropped_messages(), drops_before);
+  EXPECT_EQ(c.nodes_in_use(), 1);
+}
+
+TEST(Reassignment, TStormOldAndNewWorkersCoexist) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.smooth_reassignment = true;
+  Cluster c(sim, cfg);
+  Fixture f;
+  const auto id = c.submit(f.topology());
+  sim.run_until(60.0);
+
+  const auto tasks = c.tasks_of(id);
+  move_to_node(c, id, 9);
+  // Wait for the next supervisor sync (<=10 s) + worker spawn (2 s); old
+  // workers drain for 20 s, so both instances exist in between.
+  bool coexisted = false;
+  for (double t = 61; t <= 85 && !coexisted; t += 1.0) {
+    sim.run_until(t);
+    for (auto task : tasks) {
+      if (c.instances_of(task).size() >= 2) {
+        coexisted = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(coexisted);
+  // After the drain delay everything converges to single instances.
+  sim.run_until(130.0);
+  for (auto task : tasks) {
+    EXPECT_LE(c.instances_of(task).size(), 1u);
+  }
+}
+
+TEST(Reassignment, UnchangedWorkerAdoptsNewVersionInPlace) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.smooth_reassignment = true;
+  Cluster c(sim, cfg);
+  Fixture f;
+  const auto id = c.submit(f.topology());
+  sim.run_until(30.0);
+
+  // Re-publish the identical placement under a fresh version.
+  const auto* rec = c.coordination().get(id);
+  const auto placement = rec->placement;
+  const auto v2 = c.nimbus().next_version();
+  ASSERT_TRUE(c.nimbus().apply_placement(id, placement, v2));
+  sim.run_until(45.0);  // one sync later
+
+  // No restart happened (no drops), and live workers carry the new
+  // version.
+  EXPECT_EQ(c.dropped_messages(), 0u);
+  for (auto task : c.tasks_of(id)) {
+    for (auto* ex : c.instances_of(task)) {
+      EXPECT_EQ(ex->worker().version(), v2);
+    }
+  }
+}
+
+TEST(Reassignment, SpoutsPauseDuringTStormHandover) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.smooth_reassignment = true;
+  Cluster c(sim, cfg);
+  Fixture f;
+  const auto id = c.submit(f.topology());
+  sim.run_until(60.0);
+  move_to_node(c, id, 9);
+
+  // Find the sync moment, then verify no *new* roots are emitted during
+  // the halt window (completions of in-flight tuples may still arrive).
+  sim.run_until(70.0);
+  const auto emitted_at_70 = static_cast<std::uint64_t>(*f.counter);
+  sim.run_until(76.0);  // inside halt (sync <=70, halt = start 2 s + 10 s)
+  const auto emitted_at_76 = static_cast<std::uint64_t>(*f.counter);
+  sim.run_until(120.0);
+  const auto emitted_late = static_cast<std::uint64_t>(*f.counter);
+  EXPECT_EQ(emitted_at_76, emitted_at_70);  // halted
+  EXPECT_GT(emitted_late, emitted_at_76);   // resumed
+}
+
+TEST(Reassignment, WorkerStatesProgressThroughDrain) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.smooth_reassignment = true;
+  Cluster c(sim, cfg);
+  Fixture f;
+  const auto id = c.submit(f.topology());
+  sim.run_until(60.0);
+
+  // Locate a current worker.
+  const auto* rec = c.coordination().get(id);
+  const auto slot = rec->placement.begin()->second;
+  Worker* w = c.supervisor(c.slot_node(slot)).worker_at(c.slot_port(slot));
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->state(), WorkerState::kRunning);
+
+  move_to_node(c, id, 9);
+  sim.run_until(75.0);
+  // The displaced worker is draining (owned by the supervisor's drain
+  // list), its replacement at node 9 is running or starting.
+  const auto& draining = c.supervisor(c.slot_node(slot)).draining();
+  bool found_draining = false;
+  for (const auto& d : draining) {
+    if (d->state() == WorkerState::kDraining) found_draining = true;
+  }
+  EXPECT_TRUE(found_draining);
+  sim.run_until(120.0);
+  EXPECT_TRUE(c.supervisor(c.slot_node(slot)).draining().empty());
+}
+
+}  // namespace
+}  // namespace tstorm::runtime

@@ -1,0 +1,103 @@
+// Nimbus rebalance (the paper uses Storm's `rebalance` command to enforce
+// T-Storm's initial worker setting) and acker state expiry.
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+#include "sched/round_robin.h"
+#include "test_util.h"
+
+namespace tstorm::runtime {
+namespace {
+
+using testutil::RecordingBolt;
+using testutil::SeqSpout;
+
+topo::Topology simple_topology(int workers) {
+  topo::TopologyBuilder b;
+  auto counter = std::make_shared<std::int64_t>(0);
+  b.set_spout("s",
+              [counter] {
+                return std::make_unique<SeqSpout>(counter, 1'000'000);
+              },
+              2)
+      .output_fields({"v"})
+      .emit_interval(0.005);
+  auto log = std::make_shared<RecordingBolt::Log>();
+  b.set_bolt("b", [log] { return std::make_unique<RecordingBolt>(log); }, 4)
+      .shuffle_grouping("s");
+  return b.build("rb", workers, 2);
+}
+
+TEST(Rebalance, ChangesWorkerCount) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  const auto id = c.submit(simple_topology(8));
+  sim.run_until(30.0);
+  EXPECT_EQ(sched::slots_used(c.coordination().get(id)->placement), 8);
+
+  sched::RoundRobinScheduler rr;
+  ASSERT_TRUE(c.nimbus().rebalance(id, rr, /*num_workers_override=*/2));
+  EXPECT_EQ(sched::slots_used(c.coordination().get(id)->placement), 2);
+
+  // Supervisors roll the change out; the topology keeps running.
+  sim.run_until(90.0);
+  EXPECT_EQ(c.slots_in_use(), 2);
+  const auto completed = c.completion().total_completed();
+  sim.run_until(150.0);
+  EXPECT_GT(c.completion().total_completed(), completed);
+}
+
+TEST(Rebalance, KeepsOwnWorkerCountWhenNoOverride) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  const auto id = c.submit(simple_topology(4));
+  sim.run_until(20.0);
+  sched::RoundRobinScheduler rr;
+  ASSERT_TRUE(c.nimbus().rebalance(id, rr));
+  EXPECT_EQ(sched::slots_used(c.coordination().get(id)->placement), 4);
+}
+
+TEST(Rebalance, UnknownTopologyFails) {
+  sim::Simulation sim;
+  Cluster c(sim, {});
+  sched::RoundRobinScheduler rr;
+  EXPECT_FALSE(c.nimbus().rebalance(42, rr));
+}
+
+TEST(AckerExpiry, PendingStateBounded) {
+  // A topology whose bolt never keeps up: most trees never complete, yet
+  // the ackers' pending maps must not grow without bound.
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.max_replays = 0;
+  cfg.tuple_timeout = 5.0;
+  cfg.late_ack_grace_factor = 2.0;
+  Cluster c(sim, cfg);
+  topo::TopologyBuilder b;
+  auto counter = std::make_shared<std::int64_t>(0);
+  b.set_spout("s",
+              [counter] {
+                return std::make_unique<SeqSpout>(counter, 10'000'000);
+              },
+              1)
+      .output_fields({"v"})
+      .emit_interval(0.001);  // 1000 tuples/s
+  b.set_bolt("slow", [] { return std::make_unique<testutil::SlowBolt>(500.0); },
+             1)
+      .shuffle_grouping("s");  // 0.25 s per tuple: hopeless backlog
+  const auto id = c.submit(b.build("leak", 2, 1));
+  sim.run_until(300.0);
+
+  const auto acker_task = c.acker_tasks(id).front();
+  auto instances = c.instances_of(acker_task);
+  ASSERT_FALSE(instances.empty());
+  auto* acker = dynamic_cast<AckerExecutor*>(instances.front());
+  ASSERT_NE(acker, nullptr);
+  // ~300 000 roots were registered; with expiry the map holds at most the
+  // last grace window's worth (~10 s * 1000/s plus sweep slack).
+  EXPECT_LT(acker->pending_entries(), 60'000u);
+  EXPECT_GT(c.completion().total_failed(), 10'000u);
+}
+
+}  // namespace
+}  // namespace tstorm::runtime

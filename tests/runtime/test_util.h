@@ -1,0 +1,81 @@
+// Shared fixtures for runtime tests: instrumented spouts/bolts and small
+// topology builders.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/builder.h"
+#include "topo/component.h"
+
+namespace tstorm::runtime::testutil {
+
+/// Emits the integers [0, limit) then goes quiet. When a `gate` is given,
+/// stays quiet until the test flips it — lets tests wait out the cluster's
+/// staggered worker startup so exact tuple counts are deterministic.
+class SeqSpout : public topo::Spout {
+ public:
+  SeqSpout(std::shared_ptr<std::int64_t> next, std::int64_t limit,
+           std::shared_ptr<bool> gate = nullptr, double cost_mc = 0.1)
+      : next_(std::move(next)),
+        limit_(limit),
+        gate_(std::move(gate)),
+        cost_mc_(cost_mc) {}
+
+  std::optional<topo::Tuple> next_tuple() override {
+    if (gate_ != nullptr && !*gate_) return std::nullopt;
+    if (*next_ >= limit_) return std::nullopt;
+    return topo::Tuple{(*next_)++};
+  }
+  double cpu_cost_mega_cycles() const override { return cost_mc_; }
+
+ private:
+  std::shared_ptr<std::int64_t> next_;  // shared across spout tasks
+  std::int64_t limit_;
+  std::shared_ptr<bool> gate_;
+  double cost_mc_;
+};
+
+/// Records (task_index, value) for every tuple it sees, into shared state.
+class RecordingBolt : public topo::Bolt {
+ public:
+  using Log = std::vector<std::pair<int, std::int64_t>>;
+
+  RecordingBolt(std::shared_ptr<Log> log, double cost_mc = 0.1,
+                bool forward = false)
+      : log_(std::move(log)), cost_mc_(cost_mc), forward_(forward) {}
+
+  void prepare(int task_index, int /*parallelism*/) override {
+    index_ = task_index;
+  }
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    log_->emplace_back(index_, input.get_int(0));
+    if (forward_) ctx.emit(input);
+  }
+  double cpu_cost_mega_cycles(const topo::Tuple&) const override {
+    return cost_mc_;
+  }
+
+ private:
+  std::shared_ptr<Log> log_;
+  double cost_mc_;
+  bool forward_;
+  int index_ = 0;
+};
+
+/// A bolt whose service time is configurable (for overload/timeout tests).
+class SlowBolt : public topo::Bolt {
+ public:
+  explicit SlowBolt(double cost_mc) : cost_mc_(cost_mc) {}
+  void execute(const topo::Tuple&, topo::BoltContext&) override {}
+  double cpu_cost_mega_cycles(const topo::Tuple&) const override {
+    return cost_mc_;
+  }
+
+ private:
+  double cost_mc_;
+};
+
+}  // namespace tstorm::runtime::testutil

@@ -1,0 +1,161 @@
+// Parameterized property sweeps across all scheduling algorithms: for any
+// cluster size, executor count and topology mix, every algorithm must
+// produce a placement that (a) covers every executor when capacity allows,
+// (b) never co-locates two topologies in one slot, and (c) only uses slots
+// that exist and are unoccupied.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "sched/aniello.h"
+#include "sched/round_robin.h"
+#include "sched/scheduler.h"
+#include "sched/traffic_aware.h"
+#include "sim/rng.h"
+
+namespace tstorm::sched {
+namespace {
+
+struct SweepCase {
+  std::string algorithm;
+  int nodes;
+  int slots_per_node;
+  int topologies;
+  int executors_per_topology;
+  std::uint64_t seed;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << c.algorithm << "/n" << c.nodes << "s" << c.slots_per_node << "t"
+      << c.topologies << "e" << c.executors_per_topology << "seed" << c.seed;
+}
+
+class AlgorithmSweep : public ::testing::TestWithParam<SweepCase> {};
+
+SchedulerInput build_input(const SweepCase& c) {
+  SchedulerInput in;
+  sim::Rng rng(c.seed);
+  for (int n = 0; n < c.nodes; ++n) {
+    for (int p = 0; p < c.slots_per_node; ++p) {
+      in.slots.push_back({n * c.slots_per_node + p, n, p});
+    }
+    in.node_capacity_mhz.push_back(8000.0);
+  }
+  int task = 0;
+  for (int t = 0; t < c.topologies; ++t) {
+    in.topologies.push_back(
+        {t, static_cast<int>(rng.uniform_int(1, c.nodes * 2))});
+    const int first = task;
+    for (int e = 0; e < c.executors_per_topology; ++e) {
+      in.executors.push_back({task++, t, rng.uniform(1.0, 80.0)});
+    }
+    // Random intra-topology traffic + chain edges.
+    for (int e = first; e < task - 1; ++e) {
+      in.traffic.push_back({e, e + 1, rng.uniform(1.0, 200.0)});
+      in.topology_edges.emplace_back(e, e + 1);
+    }
+    for (int k = 0; k < c.executors_per_topology; ++k) {
+      const auto a =
+          static_cast<TaskId>(rng.uniform_int(first, task - 1));
+      const auto b =
+          static_cast<TaskId>(rng.uniform_int(first, task - 1));
+      if (a != b) in.traffic.push_back({a, b, rng.uniform(0.1, 100.0)});
+    }
+  }
+  return in;
+}
+
+TEST_P(AlgorithmSweep, StructuralInvariants) {
+  const auto& c = GetParam();
+  const auto in = build_input(c);
+  auto alg = AlgorithmRegistry::instance().create(c.algorithm);
+  ASSERT_NE(alg, nullptr);
+  const auto r = alg->schedule(in);
+
+  const std::size_t total =
+      static_cast<std::size_t>(c.topologies * c.executors_per_topology);
+  const std::size_t slots = in.slots.size();
+  // Coverage: every executor placed when there is any slot at all. The
+  // round-robin family can run out of free slots for later topologies.
+  if (slots >= static_cast<std::size_t>(c.topologies)) {
+    EXPECT_GE(r.assignment.size(), std::min(total, slots));
+  }
+
+  std::set<SlotIndex> valid;
+  for (const auto& s : in.slots) valid.insert(s.slot);
+  std::unordered_map<TaskId, TopologyId> topo_of;
+  for (const auto& e : in.executors) topo_of[e.task] = e.topology;
+
+  std::unordered_map<SlotIndex, TopologyId> owner;
+  for (const auto& [task, slot] : r.assignment) {
+    // Only real slots.
+    EXPECT_TRUE(valid.contains(slot));
+    // One topology per slot.
+    auto [it, inserted] = owner.emplace(slot, topo_of.at(task));
+    if (!inserted) {
+      EXPECT_EQ(it->second, topo_of.at(task));
+    }
+  }
+
+  // Determinism: same input, same output.
+  auto alg2 = AlgorithmRegistry::instance().create(c.algorithm);
+  EXPECT_EQ(alg2->schedule(build_input(c)).assignment, r.assignment);
+}
+
+std::vector<SweepCase> make_cases() {
+  std::vector<SweepCase> cases;
+  std::uint64_t seed = 1;
+  for (const char* alg : {"traffic-aware", "round-robin", "tstorm-initial",
+                          "aniello-offline", "aniello-online"}) {
+    for (const auto& [nodes, spn, topos, execs] :
+         {std::tuple{1, 1, 1, 1}, {1, 4, 1, 9}, {3, 2, 2, 5},
+          {10, 4, 1, 45}, {10, 4, 3, 12}, {16, 8, 4, 25},
+          {2, 2, 3, 2}}) {
+      cases.push_back({alg, nodes, spn, topos, execs, seed++});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AlgorithmSweep,
+                         ::testing::ValuesIn(make_cases()));
+
+TEST(AlgorithmSweep, TrafficAwareHandlesMassiveInput) {
+  SweepCase c{"traffic-aware", 50, 4, 5, 100, 99};
+  const auto in = build_input(c);
+  TrafficAwareScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(r.assignment.size(), 500u);
+  EXPECT_TRUE(one_slot_per_topology_per_node(in, r.assignment));
+}
+
+TEST(AlgorithmSweep, NoSlotsProducesEmptyPlacement) {
+  SchedulerInput in;
+  in.executors.push_back({0, 0, 1.0});
+  in.topologies.push_back({0, 1});
+  for (const char* name : {"traffic-aware", "round-robin", "tstorm-initial",
+                           "aniello-online"}) {
+    auto alg = AlgorithmRegistry::instance().create(name);
+    const auto r = alg->schedule(in);
+    EXPECT_TRUE(r.assignment.empty()) << name;
+  }
+}
+
+TEST(AlgorithmSweep, AllSlotsOccupiedProducesEmptyPlacement) {
+  SchedulerInput in;
+  in.slots = {{0, 0, 0}, {1, 0, 1}};
+  in.node_capacity_mhz = {8000.0};
+  in.occupied_slots = {0, 1};
+  in.executors.push_back({0, 0, 1.0});
+  in.topologies.push_back({0, 1});
+  for (const char* name : {"round-robin", "tstorm-initial"}) {
+    auto alg = AlgorithmRegistry::instance().create(name);
+    const auto r = alg->schedule(in);
+    EXPECT_TRUE(r.assignment.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tstorm::sched

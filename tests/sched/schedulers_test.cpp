@@ -1,0 +1,296 @@
+// Tests for the round-robin (Storm default), T-Storm initial, manual, and
+// Aniello schedulers, the helper metrics, and the hot-swap registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/aniello.h"
+#include "sched/manual.h"
+#include "sched/round_robin.h"
+#include "sched/scheduler.h"
+#include "sched/types.h"
+
+namespace tstorm::sched {
+namespace {
+
+SchedulerInput make_input(int nodes, int slots_per_node) {
+  SchedulerInput in;
+  for (int n = 0; n < nodes; ++n) {
+    for (int p = 0; p < slots_per_node; ++p) {
+      in.slots.push_back({n * slots_per_node + p, n, p});
+    }
+    in.node_capacity_mhz.push_back(8000.0);
+  }
+  return in;
+}
+
+void add_executors(SchedulerInput& in, TopologyId topo, int count,
+                   int requested_workers) {
+  const int base = static_cast<int>(in.executors.size());
+  for (int i = 0; i < count; ++i) {
+    in.executors.push_back({base + i, topo, 0.0});
+  }
+  in.topologies.push_back({topo, requested_workers});
+}
+
+NodeId node_of(const SchedulerInput& in, SlotIndex slot) {
+  for (const auto& s : in.slots) {
+    if (s.slot == slot) return s.node;
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------ RoundRobin
+
+TEST(RoundRobin, UsesExactlyNuWorkers) {
+  auto in = make_input(10, 4);
+  add_executors(in, 0, 45, 40);
+  RoundRobinScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(r.assignment.size(), 45u);
+  EXPECT_EQ(slots_used(r.assignment), 40);
+}
+
+TEST(RoundRobin, AlwaysSpreadsAcrossAllNodes) {
+  // The paper's observation: "Storm always used all of 10 worker nodes".
+  auto in = make_input(10, 4);
+  add_executors(in, 0, 20, 20);
+  RoundRobinScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(nodes_used(in, r.assignment), 10);
+}
+
+TEST(RoundRobin, EvenExecutorDistributionOverWorkers) {
+  auto in = make_input(4, 4);
+  add_executors(in, 0, 16, 8);
+  RoundRobinScheduler alg;
+  const auto r = alg.schedule(in);
+  std::unordered_map<SlotIndex, int> per_worker;
+  for (const auto& [t, s] : r.assignment) per_worker[s]++;
+  for (const auto& [s, c] : per_worker) EXPECT_EQ(c, 2);
+}
+
+TEST(RoundRobin, InterleavesNodesBeforePorts) {
+  auto in = make_input(4, 2);
+  add_executors(in, 0, 4, 4);
+  RoundRobinScheduler alg;
+  const auto r = alg.schedule(in);
+  // 4 workers over 4 nodes: each node's port 0.
+  std::set<NodeId> nodes;
+  for (const auto& [t, s] : r.assignment) {
+    nodes.insert(node_of(in, s));
+    EXPECT_EQ(s % 2, 0);  // port 0 slots (slot = node*2 + port)
+  }
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+TEST(RoundRobin, SkipsOccupiedSlots) {
+  auto in = make_input(2, 1);
+  add_executors(in, 0, 4, 2);
+  in.occupied_slots = {0};
+  RoundRobinScheduler alg;
+  const auto r = alg.schedule(in);
+  for (const auto& [t, s] : r.assignment) EXPECT_EQ(s, 1);
+}
+
+TEST(RoundRobin, CapsWorkersAtFreeSlots) {
+  auto in = make_input(2, 1);
+  add_executors(in, 0, 6, 10);  // asks for 10 workers, only 2 slots
+  RoundRobinScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(r.assignment.size(), 6u);
+  EXPECT_EQ(slots_used(r.assignment), 2);
+}
+
+TEST(RoundRobin, MultipleTopologiesGetDisjointSlots) {
+  auto in = make_input(4, 2);
+  add_executors(in, 0, 4, 2);
+  add_executors(in, 1, 4, 2);
+  RoundRobinScheduler alg;
+  const auto r = alg.schedule(in);
+  std::unordered_map<SlotIndex, TopologyId> owner;
+  for (const auto& e : in.executors) {
+    auto [it, inserted] = owner.emplace(r.assignment.at(e.task), e.topology);
+    if (!inserted) {
+      EXPECT_EQ(it->second, e.topology);
+    }
+  }
+}
+
+// --------------------------------------------------------- TStormInitial
+
+TEST(TStormInitial, WorkerCountIsMinOfNuAndNodes) {
+  // N*w = min(Nu, Nw), section IV-C.
+  auto in = make_input(10, 4);
+  add_executors(in, 0, 45, 40);  // user asks 40 workers
+  TStormInitialScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(slots_used(r.assignment), 10);  // capped at node count
+  EXPECT_TRUE(one_slot_per_topology_per_node(in, r.assignment));
+}
+
+TEST(TStormInitial, HonorsSmallNu) {
+  auto in = make_input(10, 4);
+  add_executors(in, 0, 12, 3);
+  TStormInitialScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(slots_used(r.assignment), 3);
+  EXPECT_EQ(nodes_used(in, r.assignment), 3);
+}
+
+TEST(TStormInitial, OneWorkerPerNode) {
+  auto in = make_input(5, 4);
+  add_executors(in, 0, 20, 20);
+  TStormInitialScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(slots_used(r.assignment), 5);
+  EXPECT_EQ(nodes_used(in, r.assignment), 5);
+  EXPECT_TRUE(one_slot_per_topology_per_node(in, r.assignment));
+}
+
+TEST(TStormInitial, SecondTopologyUsesOtherSlots) {
+  auto in = make_input(2, 2);
+  add_executors(in, 0, 2, 2);
+  add_executors(in, 1, 2, 2);
+  TStormInitialScheduler alg;
+  const auto r = alg.schedule(in);
+  std::set<SlotIndex> slots;
+  for (const auto& [t, s] : r.assignment) slots.insert(s);
+  EXPECT_EQ(slots.size(), 4u);
+}
+
+// ---------------------------------------------------------------- Manual
+
+TEST(Manual, PinsExactPlacement) {
+  auto in = make_input(2, 2);
+  add_executors(in, 0, 3, 1);
+  ManualScheduler alg({{0, 2}, {1, 2}, {2, 3}});
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(r.assignment.at(0), 2);
+  EXPECT_EQ(r.assignment.at(1), 2);
+  EXPECT_EQ(r.assignment.at(2), 3);
+}
+
+TEST(Manual, UnpinnedTasksRoundRobinOverUsedSlots) {
+  auto in = make_input(2, 2);
+  add_executors(in, 0, 4, 1);
+  ManualScheduler alg(Placement{{0, 1}});
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(r.assignment.size(), 4u);
+  for (const auto& [t, s] : r.assignment) EXPECT_EQ(s, 1);
+}
+
+// --------------------------------------------------------------- Aniello
+
+TEST(AnielloOnline, PlacesAllExecutors) {
+  auto in = make_input(4, 4);
+  add_executors(in, 0, 12, 4);
+  for (int i = 0; i < 11; ++i) in.traffic.push_back({i, i + 1, 100.0});
+  AnielloOnlineScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(r.assignment.size(), 12u);
+  EXPECT_LE(slots_used(r.assignment), 4);
+}
+
+TEST(AnielloOnline, HeavyPairsShareWorker) {
+  auto in = make_input(2, 2);
+  add_executors(in, 0, 4, 2);
+  in.traffic.push_back({0, 1, 1000.0});
+  in.traffic.push_back({2, 3, 900.0});
+  in.traffic.push_back({1, 2, 1.0});
+  AnielloOnlineScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(r.assignment.at(0), r.assignment.at(1));
+  EXPECT_EQ(r.assignment.at(2), r.assignment.at(3));
+}
+
+TEST(AnielloOffline, UsesTopologyEdgesOnly) {
+  auto in = make_input(2, 2);
+  add_executors(in, 0, 4, 2);
+  in.topology_edges = {{0, 1}, {2, 3}};
+  // Contradictory runtime traffic must be ignored by the offline variant.
+  in.traffic.push_back({0, 3, 99999.0});
+  AnielloOfflineScheduler alg;
+  const auto r = alg.schedule(in);
+  EXPECT_EQ(r.assignment.size(), 4u);
+  EXPECT_EQ(r.assignment.at(0), r.assignment.at(1));
+}
+
+TEST(AnielloOnline, RespectsWorkerSizeCap) {
+  auto in = make_input(4, 4);
+  add_executors(in, 0, 12, 4);  // cap = ceil(12/4) = 3 per worker
+  for (int i = 0; i < 12; ++i) {
+    for (int j = i + 1; j < 12; ++j) in.traffic.push_back({i, j, 50.0});
+  }
+  AnielloOnlineScheduler alg;
+  const auto r = alg.schedule(in);
+  std::unordered_map<SlotIndex, int> per_worker;
+  for (const auto& [t, s] : r.assignment) per_worker[s]++;
+  for (const auto& [s, c] : per_worker) EXPECT_LE(c, 3);
+}
+
+// ---------------------------------------------------------------- Helpers
+
+TEST(Helpers, InternodeAndInterprocessTraffic) {
+  auto in = make_input(2, 2);
+  add_executors(in, 0, 3, 1);
+  in.traffic = {{0, 1, 10.0}, {1, 2, 20.0}, {0, 2, 40.0}};
+  // 0 -> slot 0 (node 0), 1 -> slot 1 (node 0), 2 -> slot 2 (node 1).
+  Placement p{{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_DOUBLE_EQ(internode_traffic(in, p), 60.0);   // 1-2 and 0-2
+  EXPECT_DOUBLE_EQ(interprocess_traffic(in, p), 10.0);  // 0-1 same node
+  EXPECT_EQ(nodes_used(in, p), 2);
+  EXPECT_EQ(slots_used(p), 3);
+}
+
+TEST(Helpers, OneSlotPerTopologyDetectsViolation) {
+  auto in = make_input(1, 2);
+  add_executors(in, 0, 2, 2);
+  Placement bad{{0, 0}, {1, 1}};  // same topology, two slots, one node
+  EXPECT_FALSE(one_slot_per_topology_per_node(in, bad));
+  Placement good{{0, 0}, {1, 0}};
+  EXPECT_TRUE(one_slot_per_topology_per_node(in, good));
+}
+
+// --------------------------------------------------------------- Registry
+
+TEST(Registry, BuiltinsPresent) {
+  auto& reg = AlgorithmRegistry::instance();
+  for (const char* name :
+       {"traffic-aware", "round-robin", "tstorm-initial", "aniello-offline",
+        "aniello-online"}) {
+    auto alg = reg.create(name);
+    ASSERT_NE(alg, nullptr) << name;
+    EXPECT_EQ(alg->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameReturnsNull) {
+  EXPECT_EQ(AlgorithmRegistry::instance().create("nope"), nullptr);
+}
+
+TEST(Registry, CustomRegistrationAndDuplicateRejection) {
+  class Dummy final : public ISchedulingAlgorithm {
+   public:
+    ScheduleResult schedule(const SchedulerInput&) override { return {}; }
+    std::string name() const override { return "dummy-test-alg"; }
+  };
+  auto& reg = AlgorithmRegistry::instance();
+  const bool first = reg.register_algorithm(
+      "dummy-test-alg", [] { return std::make_unique<Dummy>(); });
+  if (first) {
+    EXPECT_NE(reg.create("dummy-test-alg"), nullptr);
+  }
+  EXPECT_FALSE(reg.register_algorithm("dummy-test-alg",
+                                      [] { return std::make_unique<Dummy>(); }));
+  EXPECT_FALSE(reg.register_algorithm("round-robin",
+                                      [] { return std::make_unique<Dummy>(); }));
+}
+
+TEST(Registry, NamesListsEverything) {
+  const auto names = AlgorithmRegistry::instance().names();
+  EXPECT_GE(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tstorm::sched

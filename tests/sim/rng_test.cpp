@@ -1,0 +1,193 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tstorm::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -1);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<size_t>(rng.uniform_int(0, 9))]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(31);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(37);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(37);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfInRange) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.zipf(100, 1.2), 100u);
+  }
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(43);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    counts[static_cast<size_t>(rng.zipf(1000, 1.3))]++;
+  }
+  // Rank 0 should dominate the tail by a wide margin.
+  EXPECT_GT(counts[0], counts[500] * 10);
+  EXPECT_GT(counts[0], 10000);
+}
+
+TEST(Rng, RandomStringLengthAndAlphabet) {
+  Rng rng(47);
+  const auto s = rng.random_string(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(51);
+  Rng b = a.fork();
+  // The fork must not replay the parent's stream.
+  std::vector<std::uint64_t> pa, pb;
+  for (int i = 0; i < 50; ++i) {
+    pa.push_back(a.next_u64());
+    pb.push_back(b.next_u64());
+  }
+  EXPECT_NE(pa, pb);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng a(99), b(99);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+}  // namespace
+}  // namespace tstorm::sim

@@ -1,0 +1,257 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tstorm::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulation, ExecutesEventAtScheduledTime) {
+  Simulation sim;
+  double seen = -1;
+  sim.schedule_at(5.0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 5.0);
+  EXPECT_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_after(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 5.0);
+}
+
+TEST(Simulation, EventsOrderedByTime) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, EqualTimesRunInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation sim;
+  double seen = -1;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_at(3.0, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(seen, 10.0);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, CancelReturnsFalseForUnknownOrRepeated) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(id + 100));  // never issued
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+}
+
+TEST(Simulation, CancelAfterExecutionIsNoOp) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  // The id was consumed; cancelling must not corrupt the live count.
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  bool ran = false;
+  sim.schedule_at(2.0, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, PendingTracksLiveEvents) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, RunUntilExecutesInclusiveBoundary) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.schedule_at(2.5, [&] { ++count; });
+  const auto n = sim.run_until(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim;
+  sim.run_until(42.0);
+  EXPECT_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulation, RunUntilCanBeResumed) {
+  Simulation sim;
+  std::vector<double> seen;
+  for (double t : {1.0, 5.0, 9.0}) {
+    sim.schedule_at(t, [&seen, &sim] { seen.push_back(sim.now()); });
+  }
+  sim.run_until(4.0);
+  EXPECT_EQ(seen.size(), 1u);
+  sim.run_until(10.0);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.clear_stop();
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, EventsExecutedAccumulates) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulation, EventCanScheduleAtSameTime) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 1.0);
+}
+
+TEST(PeriodicTask, FiresAtFixedPeriod) {
+  Simulation sim;
+  std::vector<double> fires;
+  PeriodicTask task(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  task.start(10.0);
+  sim.run_until(35.0);
+  EXPECT_EQ(fires, (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(PeriodicTask, StartWithPhase) {
+  Simulation sim;
+  std::vector<double> fires;
+  PeriodicTask task(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  task.start(3.0);
+  sim.run_until(25.0);
+  EXPECT_EQ(fires, (std::vector<double>{3.0, 13.0, 23.0}));
+}
+
+TEST(PeriodicTask, StopCancelsFutureTicks) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, 1.0, [&] { ++count; });
+  task.start(1.0);
+  sim.run_until(2.5);
+  task.stop();
+  EXPECT_FALSE(task.running());
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, SetPeriodTakesEffectNextTick) {
+  Simulation sim;
+  std::vector<double> fires;
+  PeriodicTask task(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  task.start(10.0);
+  sim.run_until(10.0);  // first fire re-arms with old period first
+  task.set_period(5.0);
+  sim.run_until(40.0);
+  // Fire at 10 re-armed at 20 (already scheduled with old period), then 25,
+  // 30, 35, 40.
+  ASSERT_GE(fires.size(), 3u);
+  EXPECT_EQ(fires[0], 10.0);
+  EXPECT_EQ(fires[1], 20.0);
+  EXPECT_EQ(fires[2], 25.0);
+}
+
+TEST(PeriodicTask, CallbackMayStopItself) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, 1.0, [&] {
+    if (++count == 3) task.stop();
+  });
+  task.start(1.0);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, RestartResetsPhase) {
+  Simulation sim;
+  std::vector<double> fires;
+  PeriodicTask task(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  task.start(10.0);
+  sim.run_until(15.0);
+  task.start(2.0);  // restart from t=15
+  sim.run_until(18.0);
+  EXPECT_EQ(fires, (std::vector<double>{10.0, 17.0}));
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<double> log;
+    PeriodicTask a(sim, 0.7, [&] { log.push_back(sim.now()); });
+    PeriodicTask b(sim, 1.1, [&] { log.push_back(-sim.now()); });
+    a.start(0.7);
+    b.start(1.1);
+    sim.run_until(50.0);
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace tstorm::sim

@@ -1,0 +1,203 @@
+#include "topo/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/component.h"
+
+namespace tstorm::topo {
+namespace {
+
+class NullSpout : public Spout {
+ public:
+  std::optional<Tuple> next_tuple() override { return std::nullopt; }
+};
+
+class NullBolt : public Bolt {
+ public:
+  void execute(const Tuple&, BoltContext&) override {}
+  double cpu_cost_mega_cycles(const Tuple&) const override { return 0.1; }
+};
+
+std::unique_ptr<Spout> spout_factory() { return std::make_unique<NullSpout>(); }
+std::unique_ptr<Bolt> bolt_factory() { return std::make_unique<NullBolt>(); }
+
+TopologyBuilder two_stage() {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 2).output_fields({"a", "b"});
+  b.set_bolt("x", bolt_factory, 3).output_fields({"c"}).shuffle_grouping("s");
+  return b;
+}
+
+TEST(Builder, BuildsValidTopology) {
+  const auto t = two_stage().build("demo", 4, 2);
+  EXPECT_EQ(t.name(), "demo");
+  EXPECT_EQ(t.num_workers(), 4);
+  EXPECT_EQ(t.num_ackers(), 2);
+  // s + x + __acker
+  EXPECT_EQ(t.components().size(), 3u);
+  EXPECT_EQ(t.total_executors(), 2 + 3 + 2);
+}
+
+TEST(Builder, AckerComponentAppendedLast) {
+  const auto t = two_stage().build("demo", 1, 3);
+  const auto& acker = t.components().back();
+  EXPECT_EQ(acker.name, kAckerComponent);
+  EXPECT_EQ(acker.kind, ComponentKind::kAcker);
+  EXPECT_EQ(acker.parallelism, 3);
+}
+
+TEST(Builder, ZeroAckersOmitsComponent) {
+  const auto t = two_stage().build("demo", 1, 0);
+  EXPECT_EQ(t.components().size(), 2u);
+  EXPECT_EQ(t.find(kAckerComponent), nullptr);
+}
+
+TEST(Builder, FieldsGroupingResolvesIndex) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1).output_fields({"a", "b"});
+  b.set_bolt("x", bolt_factory, 1).fields_grouping("s", "b");
+  const auto t = b.build("demo", 1, 1);
+  const auto& sub = t.component("x").inputs.at(0);
+  EXPECT_EQ(sub.grouping, GroupingType::kFields);
+  EXPECT_EQ(sub.field_index, 1);
+  EXPECT_EQ(sub.field_name, "b");
+}
+
+TEST(Builder, UnknownFieldThrows) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1).output_fields({"a"});
+  b.set_bolt("x", bolt_factory, 1).fields_grouping("s", "nope");
+  EXPECT_THROW(b.build("demo", 1, 1), TopologyError);
+}
+
+TEST(Builder, DuplicateComponentThrows) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1);
+  b.set_bolt("s", bolt_factory, 1).shuffle_grouping("s");
+  EXPECT_THROW(b.build("demo", 1, 1), TopologyError);
+}
+
+TEST(Builder, UnknownSourceThrows) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1);
+  b.set_bolt("x", bolt_factory, 1).shuffle_grouping("ghost");
+  EXPECT_THROW(b.build("demo", 1, 1), TopologyError);
+}
+
+TEST(Builder, BoltWithoutInputsThrows) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1);
+  b.set_bolt("x", bolt_factory, 1);
+  EXPECT_THROW(b.build("demo", 1, 1), TopologyError);
+}
+
+TEST(Builder, NoSpoutThrows) {
+  TopologyBuilder b;
+  b.set_bolt("x", bolt_factory, 1).shuffle_grouping("x");
+  EXPECT_THROW(b.build("demo", 1, 1), TopologyError);
+}
+
+TEST(Builder, CycleThrows) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1).output_fields({"v"});
+  b.set_bolt("x", bolt_factory, 1)
+      .output_fields({"v"})
+      .shuffle_grouping("s");
+  // y <-> x cycle.
+  b.set_bolt("y", bolt_factory, 1).output_fields({"v"}).shuffle_grouping("x");
+  auto& comps = b;  // extend x to also consume y
+  (void)comps;
+  TopologyBuilder b2;
+  b2.set_spout("s", spout_factory, 1).output_fields({"v"});
+  b2.set_bolt("x", bolt_factory, 1)
+      .output_fields({"v"})
+      .shuffle_grouping("s")
+      .shuffle_grouping("y");
+  b2.set_bolt("y", bolt_factory, 1)
+      .output_fields({"v"})
+      .shuffle_grouping("x");
+  EXPECT_THROW(b2.build("demo", 1, 1), TopologyError);
+}
+
+TEST(Builder, BadParallelismThrows) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 0);
+  EXPECT_THROW(b.build("demo", 1, 1), TopologyError);
+}
+
+TEST(Builder, BadWorkerCountThrows) {
+  EXPECT_THROW(two_stage().build("demo", 0, 1), TopologyError);
+  EXPECT_THROW(two_stage().build("demo", 1, -1), TopologyError);
+}
+
+TEST(Builder, SpoutCannotSubscribe) {
+  // Not expressible through the fluent API; exercised via direct def
+  // inspection: spouts simply expose no grouping methods. Validate that a
+  // spout-only topology with dangling consumers is fine instead.
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1).output_fields({"v"});
+  const auto t = b.build("only-spout", 1, 1);
+  EXPECT_TRUE(t.consumers_of("s").empty());
+}
+
+TEST(Builder, ConsumersOfReportsGroupings) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1).output_fields({"v"});
+  b.set_bolt("x", bolt_factory, 2).output_fields({"w"}).shuffle_grouping("s");
+  b.set_bolt("y", bolt_factory, 2).all_grouping("s");
+  const auto t = b.build("demo", 1, 1);
+  const auto consumers = t.consumers_of("s");
+  ASSERT_EQ(consumers.size(), 2u);
+  EXPECT_EQ(consumers[0].component->name, "x");
+  EXPECT_EQ(consumers[0].subscription.grouping, GroupingType::kShuffle);
+  EXPECT_EQ(consumers[1].component->name, "y");
+  EXPECT_EQ(consumers[1].subscription.grouping, GroupingType::kAll);
+}
+
+TEST(Builder, EmitIntervalAndMaxPendingStored) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1)
+      .output_fields({"v"})
+      .emit_interval(0.25)
+      .max_pending(17);
+  const auto t = b.build("demo", 1, 1);
+  EXPECT_DOUBLE_EQ(t.component("s").emit_interval, 0.25);
+  EXPECT_EQ(t.component("s").max_pending, 17);
+}
+
+TEST(Builder, NegativeEmitIntervalThrows) {
+  TopologyBuilder b;
+  EXPECT_THROW(b.set_spout("s", spout_factory, 1).emit_interval(-1.0),
+               TopologyError);
+}
+
+TEST(Builder, AllGroupingTypesAccepted) {
+  TopologyBuilder b;
+  b.set_spout("s", spout_factory, 1).output_fields({"v"});
+  b.set_bolt("a", bolt_factory, 1).output_fields({"v"}).shuffle_grouping("s");
+  b.set_bolt("b", bolt_factory, 1).output_fields({"v"}).fields_grouping("s", "v");
+  b.set_bolt("c", bolt_factory, 1).output_fields({"v"}).all_grouping("s");
+  b.set_bolt("d", bolt_factory, 1).output_fields({"v"}).global_grouping("s");
+  b.set_bolt("e", bolt_factory, 1).direct_grouping("s");
+  const auto t = b.build("demo", 2, 1);
+  EXPECT_EQ(t.component("b").inputs[0].grouping, GroupingType::kFields);
+  EXPECT_EQ(t.component("e").inputs[0].grouping, GroupingType::kDirect);
+}
+
+TEST(Topology, ComponentLookup) {
+  const auto t = two_stage().build("demo", 1, 1);
+  EXPECT_EQ(t.component("s").parallelism, 2);
+  EXPECT_THROW((void)t.component("ghost"), TopologyError);
+  EXPECT_EQ(t.find("ghost"), nullptr);
+}
+
+TEST(GroupingNames, ToString) {
+  EXPECT_STREQ(to_string(GroupingType::kShuffle), "shuffle");
+  EXPECT_STREQ(to_string(GroupingType::kFields), "fields");
+  EXPECT_STREQ(to_string(GroupingType::kAll), "all");
+  EXPECT_STREQ(to_string(GroupingType::kGlobal), "global");
+  EXPECT_STREQ(to_string(GroupingType::kDirect), "direct");
+}
+
+}  // namespace
+}  // namespace tstorm::topo

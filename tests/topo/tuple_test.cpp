@@ -1,0 +1,71 @@
+#include "topo/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace tstorm::topo {
+namespace {
+
+TEST(Tuple, AccessorsByType) {
+  Tuple t{std::int64_t{42}, 3.5, std::string("hello")};
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.get_int(0), 42);
+  EXPECT_DOUBLE_EQ(t.get_double(1), 3.5);
+  EXPECT_EQ(t.get_string(2), "hello");
+}
+
+TEST(Tuple, EmptyTuple) {
+  Tuple t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.bytes(), 8u);  // framing only
+}
+
+TEST(Tuple, WrongTypeThrows) {
+  Tuple t{std::string("x")};
+  EXPECT_THROW((void)t.get_int(0), std::bad_variant_access);
+  EXPECT_THROW((void)t.at(5), std::out_of_range);
+}
+
+TEST(Tuple, BytesCountsStringsByLength) {
+  Tuple small{std::string(10, 'a')};
+  Tuple large{std::string(10000, 'a')};
+  EXPECT_EQ(large.bytes() - small.bytes(), 9990u);
+}
+
+TEST(Tuple, BytesNumericFixedSize) {
+  Tuple t{std::int64_t{1}, 2.0};
+  EXPECT_EQ(t.bytes(), 8u + 8u + 8u);
+}
+
+TEST(HashValue, DeterministicAndTypeSensitive) {
+  EXPECT_EQ(hash_value(Value{std::string("word")}),
+            hash_value(Value{std::string("word")}));
+  EXPECT_NE(hash_value(Value{std::string("word")}),
+            hash_value(Value{std::string("wird")}));
+  EXPECT_EQ(hash_value(Value{std::int64_t{7}}),
+            hash_value(Value{std::int64_t{7}}));
+  EXPECT_NE(hash_value(Value{std::int64_t{7}}),
+            hash_value(Value{std::int64_t{8}}));
+}
+
+TEST(HashValue, SpreadsAcrossBuckets) {
+  // Fields grouping uses hash % n; verify reasonable spread over 8 tasks.
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    const auto h = hash_value(Value{std::string("key") + std::to_string(i)});
+    counts[h % 8]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(ValueBytes, StringAndNumeric) {
+  EXPECT_EQ(value_bytes(Value{std::string("abcd")}), 8u);  // 4 + len prefix
+  EXPECT_EQ(value_bytes(Value{std::int64_t{1}}), 8u);
+  EXPECT_EQ(value_bytes(Value{1.0}), 8u);
+}
+
+}  // namespace
+}  // namespace tstorm::topo

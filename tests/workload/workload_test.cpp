@@ -1,0 +1,214 @@
+// Workload generators, external queue, and the three paper topologies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/system.h"
+#include "workload/topologies.h"
+
+namespace tstorm::workload {
+namespace {
+
+// ---------------------------------------------------------- TextGenerator
+
+TEST(TextGenerator, VocabularyDistinctAndSized) {
+  TextGenerator gen;
+  const auto& vocab = gen.vocabulary();
+  EXPECT_EQ(vocab.size(), 3000u);
+  std::set<std::string> set(vocab.begin(), vocab.end());
+  EXPECT_EQ(set.size(), vocab.size());
+}
+
+TEST(TextGenerator, LineRespectsWordBounds) {
+  TextGenerator::Options opt;
+  opt.min_words_per_line = 3;
+  opt.max_words_per_line = 5;
+  TextGenerator gen(opt);
+  for (int i = 0; i < 100; ++i) {
+    const auto words = split_words(gen.next_line());
+    EXPECT_GE(words.size(), 3u);
+    EXPECT_LE(words.size(), 5u);
+  }
+}
+
+TEST(TextGenerator, WordFrequencyIsSkewed) {
+  TextGenerator gen;
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[gen.next_word()]++;
+  int max_count = 0;
+  for (const auto& [w, c] : counts) max_count = std::max(max_count, c);
+  // Zipf: the hottest word appears far more often than average.
+  EXPECT_GT(max_count, 20000 / 100);
+}
+
+TEST(TextGenerator, DeterministicForSeed) {
+  TextGenerator::Options opt;
+  opt.seed = 99;
+  TextGenerator a(opt), b(opt);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_line(), b.next_line());
+}
+
+TEST(SplitWords, HandlesEdgeCases) {
+  EXPECT_TRUE(split_words("").empty());
+  EXPECT_EQ(split_words("one"), (std::vector<std::string>{"one"}));
+  EXPECT_EQ(split_words("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_words(" x"), (std::vector<std::string>{"x"}));
+}
+
+// ----------------------------------------------------------- LogGenerator
+
+TEST(LogGenerator, JsonLineHasExpectedFields) {
+  LogGenerator gen;
+  const auto line = gen.next_json_line();
+  for (const char* field : {"\"ip\":", "\"method\":", "\"uri\":",
+                            "\"status\":", "\"bytes\":", "\"agent\":"}) {
+    EXPECT_NE(line.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(LogGenerator, RecordsVary) {
+  LogGenerator gen;
+  std::set<std::string> uris;
+  for (int i = 0; i < 200; ++i) uris.insert(gen.next_record().uri);
+  EXPECT_GT(uris.size(), 10u);
+}
+
+TEST(LogGenerator, StatusesFromRealisticSet) {
+  LogGenerator gen;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = gen.next_record().status;
+    EXPECT_TRUE(s == 200 || s == 304 || s == 404 || s == 500);
+  }
+}
+
+// ---------------------------------------------------------- ExternalQueue
+
+TEST(ExternalQueue, PushPopAccounting) {
+  ExternalQueue q;
+  EXPECT_FALSE(q.try_pop());
+  q.push(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_TRUE(q.try_pop());
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.total_pushed(), 3u);
+  EXPECT_EQ(q.total_popped(), 1u);
+}
+
+TEST(ExternalQueue, CapacityDropsExcess) {
+  ExternalQueue q(2);
+  EXPECT_TRUE(q.push());
+  EXPECT_TRUE(q.push());
+  EXPECT_FALSE(q.push());
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(QueueProducer, PushesAtConfiguredRate) {
+  sim::Simulation sim;
+  ExternalQueue q;
+  QueueProducer producer(sim, q, 100.0);
+  producer.start();
+  sim.run_until(1.0);
+  EXPECT_NEAR(static_cast<double>(q.total_pushed()), 100.0, 2.0);
+  producer.set_rate(1000.0);
+  sim.run_until(2.0);
+  EXPECT_NEAR(static_cast<double>(q.total_pushed()), 1100.0, 10.0);
+  producer.stop();
+  sim.run_until(3.0);
+  EXPECT_NEAR(static_cast<double>(q.total_pushed()), 1100.0, 10.0);
+}
+
+// ------------------------------------------------------------- Topologies
+
+TEST(ThroughputTest, MatchesPaperParallelism) {
+  const auto t = make_throughput_test();
+  EXPECT_EQ(t.num_workers(), 40);
+  EXPECT_EQ(t.component("spout").parallelism, 5);
+  EXPECT_EQ(t.component("identity").parallelism, 15);
+  EXPECT_EQ(t.component("counter").parallelism, 15);
+  EXPECT_EQ(t.component(topo::kAckerComponent).parallelism, 10);
+  EXPECT_EQ(t.total_executors(), 45);
+  EXPECT_DOUBLE_EQ(t.component("spout").emit_interval, 0.005);
+}
+
+TEST(ThroughputTest, SpoutEmitsTenKilobyteTuples) {
+  const auto t = make_throughput_test();
+  auto spout = t.component("spout").spout_factory();
+  const auto tuple = spout->next_tuple();
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(tuple->get_string(0).size(), 10u * 1024u);
+}
+
+TEST(Chain, StructureMatchesSectionThree) {
+  ChainOptions opt;  // 1 spout, 4 bolts, 5 ackers
+  const auto t = make_chain(opt);
+  EXPECT_EQ(t.total_executors(), 1 + 4 + 5);
+  // bolt1 <- spout, bolt2 <- bolt1, ...
+  EXPECT_EQ(t.component("bolt1").inputs[0].source, "spout");
+  EXPECT_EQ(t.component("bolt4").inputs[0].source, "bolt3");
+}
+
+TEST(WordCount, MatchesPaperStructure) {
+  const auto w = make_word_count();
+  const auto& t = w.topology;
+  EXPECT_EQ(t.num_workers(), 20);
+  EXPECT_EQ(t.component("reader").parallelism, 2);
+  EXPECT_EQ(t.component("split").parallelism, 5);
+  EXPECT_EQ(t.component("count").parallelism, 5);
+  EXPECT_EQ(t.component("mongo").parallelism, 5);
+  // count subscribes with fields grouping on "word".
+  const auto& sub = t.component("count").inputs[0];
+  EXPECT_EQ(sub.grouping, topo::GroupingType::kFields);
+  EXPECT_EQ(sub.field_name, "word");
+  ASSERT_NE(w.queue, nullptr);
+}
+
+TEST(WordCount, ReaderConsumesFromQueue) {
+  const auto w = make_word_count();
+  auto reader = w.topology.component("reader").spout_factory();
+  EXPECT_FALSE(reader->next_tuple().has_value());  // queue empty
+  w.queue->push();
+  const auto t = reader->next_tuple();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->get_string(0).empty());
+  EXPECT_FALSE(reader->next_tuple().has_value());
+}
+
+TEST(LogStream, MatchesFigureSevenStructure) {
+  const auto w = make_log_stream();
+  const auto& t = w.topology;
+  EXPECT_EQ(t.component("log-spout").parallelism, 5);
+  EXPECT_EQ(t.component("log-rules").parallelism, 5);
+  EXPECT_EQ(t.component("indexer").parallelism, 5);
+  EXPECT_EQ(t.component("counter").parallelism, 5);
+  EXPECT_EQ(t.component("mongo-index").parallelism, 2);
+  EXPECT_EQ(t.component("mongo-count").parallelism, 2);
+  // Both indexer and counter consume the rules bolt's stream.
+  EXPECT_EQ(t.component("indexer").inputs[0].source, "log-rules");
+  EXPECT_EQ(t.component("counter").inputs[0].source, "log-rules");
+}
+
+TEST(WordCount, RunsEndToEnd) {
+  sim::Simulation sim;
+  core::StormSystem sys(sim);
+  auto w = make_word_count();
+  QueueProducer producer(sim, *w.queue, 100.0);
+  producer.start();
+  sys.submit(std::move(w.topology));
+  sim.run_until(120.0);
+  EXPECT_GT(sys.cluster().completion().total_completed(), 1000u);
+}
+
+TEST(LogStream, RunsEndToEnd) {
+  sim::Simulation sim;
+  core::StormSystem sys(sim);
+  auto w = make_log_stream();
+  QueueProducer producer(sim, *w.queue, 100.0);
+  producer.start();
+  sys.submit(std::move(w.topology));
+  sim.run_until(120.0);
+  EXPECT_GT(sys.cluster().completion().total_completed(), 1000u);
+}
+
+}  // namespace
+}  // namespace tstorm::workload
