@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Quick engine-performance smoke: builds the benchmark in Release, runs the
+# core event-loop figures with a short budget, asserts the hot path is
+# allocation-free, and appends the JSON result to BENCH_history.jsonl so
+# regressions are visible across commits.
+#
+# Usage: scripts/bench_smoke.sh [label]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+label="${1:-smoke-$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo dev)}"
+build="$repo/build-bench"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" -j "$(nproc)" --target core_event_bench >/dev/null
+
+"$build/bench/core_event_bench" \
+  --quick --assert-zero-alloc --label "$label" --out "$out"
+
+# One JSON object per line, append-only history.
+tr -d '\n' < "$out" >> "$repo/BENCH_history.jsonl"
+echo >> "$repo/BENCH_history.jsonl"
+echo "appended '$label' to BENCH_history.jsonl"

@@ -34,8 +34,8 @@ std::uint64_t Network::framed_bytes(std::uint64_t payload) const {
 }
 
 void Network::send(int src_node, [[maybe_unused]] int dst_node, LinkType type,
-                   std::uint64_t payload_bytes,
-                   std::function<void()> on_delivery, double extra_latency) {
+                   std::uint64_t payload_bytes, sim::InlineFn on_delivery,
+                   double extra_latency) {
   assert(src_node >= 0 && src_node < num_nodes_);
   assert(dst_node >= 0 && dst_node < num_nodes_);
   assert(type == LinkType::kInterNode || src_node == dst_node);

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -70,8 +69,11 @@ class Network {
   /// class, invoking `on_delivery` when the message arrives. For intra-node
   /// link classes `src_node == dst_node` is required. `extra_latency` adds
   /// caller-computed delay (e.g. endpoint crowding) to the delivery time.
+  /// `on_delivery` is the simulator's inline callback type: keep captures
+  /// within sim::InlineFn::kInlineBytes (a handle, not a payload) so the
+  /// per-message hot path stays allocation-free.
   void send(int src_node, int dst_node, LinkType type,
-            std::uint64_t payload_bytes, std::function<void()> on_delivery,
+            std::uint64_t payload_bytes, sim::InlineFn on_delivery,
             double extra_latency = 0.0);
 
   /// Computes the one-way delay the next message of this size would see,

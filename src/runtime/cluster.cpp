@@ -282,8 +282,13 @@ void Cluster::send(Executor& from, sched::TaskId dst, Envelope env) {
              node(dst_node).crowding(overhead));
   }
 
+  // Park the envelope and capture only its handle: the delivery closure
+  // must fit InlineFn's inline buffer for the send path to stay
+  // allocation-free (the envelope itself is 56 bytes).
+  const std::uint32_t handle = stash_envelope(std::move(env));
   network_.send(src_node, dst_node, type, bytes,
-                [this, dst, version, e = std::move(env)]() mutable {
+                [this, dst, version, handle] {
+                  Envelope e = take_envelope(handle);
                   Executor* t = resolve(dst, version);
                   if (t == nullptr) {
                     note_drop();
@@ -292,6 +297,23 @@ void Cluster::send(Executor& from, sched::TaskId dst, Envelope env) {
                   t->deliver(std::move(e));
                 },
                 extra);
+}
+
+std::uint32_t Cluster::stash_envelope(Envelope env) {
+  if (!in_flight_free_.empty()) {
+    const std::uint32_t handle = in_flight_free_.back();
+    in_flight_free_.pop_back();
+    in_flight_[handle] = std::move(env);
+    return handle;
+  }
+  in_flight_.push_back(std::move(env));
+  return static_cast<std::uint32_t>(in_flight_.size() - 1);
+}
+
+Envelope Cluster::take_envelope(std::uint32_t handle) {
+  Envelope env = std::move(in_flight_[handle]);
+  in_flight_free_.push_back(handle);
+  return env;
 }
 
 bool Cluster::deliver_control(sched::TaskId dst, Envelope env) {

@@ -151,6 +151,13 @@ class Cluster {
   void note_drop();
 
  private:
+  /// In-flight message slab. Envelopes awaiting network delivery are parked
+  /// here and referenced by a 32-bit handle, so delivery closures capture
+  /// {this, dst, version, handle} — 24 bytes, inside InlineFn's inline
+  /// buffer — instead of a 56-byte envelope that would force every message
+  /// through the callback pool.
+  std::uint32_t stash_envelope(Envelope env);
+  Envelope take_envelope(std::uint32_t handle);
 
   sim::Simulation& sim_;
   ClusterConfig config_;
@@ -184,6 +191,11 @@ class Cluster {
 
   std::uint64_t dropped_ = 0;
   std::unique_ptr<sched::ISchedulingAlgorithm> default_initial_;
+
+  /// Slot storage for stash_envelope()/take_envelope(); free slots are a
+  /// freelist threaded through in_flight_free_.
+  std::vector<Envelope> in_flight_;
+  std::vector<std::uint32_t> in_flight_free_;
 };
 
 }  // namespace tstorm::runtime

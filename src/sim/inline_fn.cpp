@@ -1,0 +1,79 @@
+#include "sim/inline_fn.h"
+
+#include <memory>
+#include <vector>
+
+namespace tstorm::sim::detail {
+
+namespace {
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+// Chunked slot pool: slots are never returned to the OS, so a simulation
+// that peaks at N oversized in-flight callbacks allocates ceil(N/64) chunks
+// total and then recycles forever. Alignment: chunks come from operator
+// new (max_align_t-aligned) and kPoolSlotBytes is a multiple of that, so
+// every slot is max_align_t-aligned.
+struct Pool {
+  static constexpr std::size_t kSlotsPerChunk = 64;
+  FreeNode* free_list = nullptr;
+  std::vector<std::unique_ptr<unsigned char[]>> chunks;
+
+  void* take() {
+    if (free_list == nullptr) grow();
+    FreeNode* node = free_list;
+    free_list = node->next;
+    return node;
+  }
+
+  void put(void* p) noexcept {
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_list;
+    free_list = node;
+  }
+
+  void grow() {
+    chunks.push_back(
+        std::make_unique<unsigned char[]>(kSlotsPerChunk * kPoolSlotBytes));
+    unsigned char* base = chunks.back().get();
+    for (std::size_t i = kSlotsPerChunk; i-- > 0;) {
+      put(base + i * kPoolSlotBytes);
+    }
+  }
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+static_assert(kPoolSlotBytes % alignof(std::max_align_t) == 0);
+static_assert(kPoolSlotBytes >= sizeof(FreeNode));
+
+InlineFnStats& inline_fn_stats() noexcept {
+  static InlineFnStats stats;
+  return stats;
+}
+
+void* pool_alloc(std::size_t bytes) {
+  if (bytes > kPoolSlotBytes) {
+    ++inline_fn_stats().oversize_ctor;
+    return ::operator new(bytes);
+  }
+  ++inline_fn_stats().pooled_ctor;
+  return pool().take();
+}
+
+void pool_free(void* p, std::size_t bytes) noexcept {
+  if (bytes > kPoolSlotBytes) {
+    ::operator delete(p);
+    return;
+  }
+  pool().put(p);
+}
+
+}  // namespace tstorm::sim::detail

@@ -1,0 +1,163 @@
+// InlineFn: a move-only `void()` callback with 48 bytes of inline storage,
+// built for the simulator's hot schedule/execute cycle. std::function's
+// small-buffer is 16 bytes on libstdc++, so the common event closures
+// (this + a couple of PODs) heap-allocate on every schedule; InlineFn keeps
+// them inline, and routes the rare oversized closure through a recycling
+// slot pool instead of malloc. Like the Simulation that owns it, InlineFn
+// is single-threaded by design: the pool and the stats counters are not
+// thread-safe.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tstorm::sim {
+
+namespace detail {
+
+/// Fixed-size recycling allocator for oversized callbacks. Slots of
+/// kPoolSlotBytes are carved from chunked blocks and returned to a free
+/// list; requests above the slot size fall back to operator new.
+inline constexpr std::size_t kPoolSlotBytes = 128;
+void* pool_alloc(std::size_t bytes);
+void pool_free(void* p, std::size_t bytes) noexcept;
+
+/// Construction counters, exposed so tests can assert which storage path a
+/// given closure takes (and the bench can report pool traffic).
+struct InlineFnStats {
+  std::uint64_t inline_ctor = 0;    // fit the inline buffer
+  std::uint64_t pooled_ctor = 0;    // pool slot (48 < size <= 128)
+  std::uint64_t oversize_ctor = 0;  // operator new (> 128 bytes)
+};
+InlineFnStats& inline_fn_stats() noexcept;
+
+}  // namespace detail
+
+class InlineFn {
+ public:
+  /// Sized so every scheduling closure in the runtime (executor service
+  /// completions, spout polls, network deliveries via envelope handles)
+  /// stays inline: 48 bytes = this-pointer + 5 words of POD capture.
+  static constexpr std::size_t kInlineBytes = 48;
+  static constexpr std::size_t kStorageAlign = alignof(std::max_align_t);
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule_* call site.
+    construct(std::forward<F>(f));
+  }
+
+  /// Destroys the current callback (if any) and constructs `f` directly in
+  /// this object's storage — the zero-move path used by the simulator's
+  /// slot map.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Destroys the held callback (and frees its pool slot, if any).
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  void operator()() {
+    assert(vt_ != nullptr);
+    vt_->invoke(storage_);
+  }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    /// Move-constructs into dst from src storage, then destroys src's
+    /// object (heap-backed callbacks just steal the pointer).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVTable = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVTable = {
+      [](void* s) { (**reinterpret_cast<D**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* s) noexcept {
+        D* obj = *reinterpret_cast<D**>(s);
+        obj->~D();
+        detail::pool_free(obj, sizeof(D));
+      },
+  };
+
+  template <typename F, typename D = std::decay_t<F>>
+  void construct(F&& f) {
+    static_assert(alignof(D) <= kStorageAlign,
+                  "over-aligned callbacks are not supported");
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vt_ = &kInlineVTable<D>;
+      ++detail::inline_fn_stats().inline_ctor;
+    } else {
+      void* mem = detail::pool_alloc(sizeof(D));
+      ::new (mem) D(std::forward<F>(f));
+      *reinterpret_cast<D**>(storage_) = static_cast<D*>(mem);
+      vt_ = &kHeapVTable<D>;
+    }
+  }
+
+  void move_from(InlineFn& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, other.storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(kStorageAlign) unsigned char storage_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace tstorm::sim

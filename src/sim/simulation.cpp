@@ -1,55 +1,124 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
-#include <cassert>
-#include <utility>
+#include <cmath>
 
 namespace tstorm::sim {
 
-EventId Simulation::schedule_at(Time t, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Entry{std::max(t, now_), id, std::move(fn)});
-  ++live_;
-  return id;
+// ------------------------------------------------------------- slot map
+
+std::uint32_t Simulation::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  assert(slots_.size() < kNoSlot);
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-EventId Simulation::schedule_after(Time dt, std::function<void()> fn) {
-  assert(dt >= 0);
-  return schedule_at(now_ + dt, std::move(fn));
+void Simulation::release_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.armed = false;
+  ++s.gen;  // invalidates the issued EventId and any heap record for it
+  if (s.gen == 0) s.gen = 1;  // keep ids nonzero across generation wrap
+  s.next_free = free_head_;
+  free_head_ = index;
 }
 
-bool Simulation::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return false;
-  // Lazy cancellation: remember the id and skip it when popped.
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted && live_ > 0) --live_;
-  return inserted;
+// ------------------------------------------------------------ 4-ary heap
+//
+// Hole-based sifting: the displaced item is held aside while ancestors or
+// descendants shift into the hole, then written once — one 24-byte store
+// per level instead of a three-store swap.
+
+void Simulation::heap_push(HeapItem item) {
+  heap_.push_back(item);  // reserves capacity; value rewritten below
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
 }
 
-bool Simulation::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; we move out after the pop decision.
-    Entry e = queue_.top();
-    queue_.pop();
-    auto it = cancelled_.find(e.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+void Simulation::heap_pop_top() {
+  const HeapItem item = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
     }
-    out = std::move(e);
-    return true;
+    if (!earlier(heap_[best], item)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
+}
+
+bool Simulation::settle_top() {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.front();
+    const Slot& s = slots_[top.slot];
+    if (s.armed && s.gen == top.gen) return true;
+    heap_pop_top();  // stale record of a cancelled event
   }
   return false;
 }
 
-bool Simulation::step() {
-  if (stopped_) return false;
-  Entry e;
-  if (!pop_next(e)) return false;
+InlineFn Simulation::take_top(Time& t_out) {
+  const HeapItem top = heap_.front();
+  heap_pop_top();
+  InlineFn fn = std::move(slots_[top.slot].fn);
+  // Retire the slot before invoking, so the callback can freely schedule
+  // (reusing this slot) or cancel without observing a half-dead event.
+  release_slot(top.slot);
   --live_;
-  now_ = e.t;
+  t_out = key_time(top.tkey);
+  return fn;
+}
+
+// ------------------------------------------------------------ scheduling
+
+bool Simulation::cancel(EventId id) {
+  const auto index = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (id == kInvalidEvent || index >= slots_.size()) return false;
+  Slot& s = slots_[index];
+  // Executed and cancelled events both bumped the generation, so double
+  // cancels and cancels of consumed ids fail here — they can no longer
+  // corrupt the live count (or anything else).
+  if (!s.armed || s.gen != gen) return false;
+  s.fn.reset();
+  release_slot(index);
+  --live_;
+  return true;
+}
+
+void Simulation::reserve(std::size_t events) {
+  slots_.reserve(events);
+  heap_.reserve(events);
+}
+
+// ------------------------------------------------------------- execution
+
+bool Simulation::step() {
+  if (stopped_ || !settle_top()) return false;
+  Time t = 0;
+  InlineFn fn = take_top(t);
+  now_ = t;
   ++executed_;
-  e.fn();
+  fn();
   return true;
 }
 
@@ -61,28 +130,37 @@ std::size_t Simulation::run() {
 
 std::size_t Simulation::run_until(Time t) {
   std::size_t n = 0;
-  while (!stopped_ && !queue_.empty()) {
-    Entry e;
-    if (!pop_next(e)) break;
-    if (e.t > t) {
-      // Put it back untouched; it stays pending beyond the horizon.
-      queue_.push(std::move(e));
-      break;
+  // A horizon below every (non-negative) event time runs nothing. The
+  // `+ 0.0` normalizes -0.0 to +0.0 so the key encoding stays monotone.
+  if (!(t < 0)) {
+    const std::uint64_t horizon = time_key(t + 0.0);
+    while (!stopped_ && settle_top() && heap_.front().tkey <= horizon) {
+      Time event_t = 0;
+      InlineFn fn = take_top(event_t);
+      now_ = event_t;
+      ++executed_;
+      ++n;
+      fn();
     }
-    --live_;
-    now_ = e.t;
-    ++executed_;
-    ++n;
-    e.fn();
   }
   now_ = std::max(now_, t);
   return n;
 }
 
-PeriodicTask::PeriodicTask(Simulation& sim, Time period,
-                           std::function<void()> fn)
+// ----------------------------------------------------------- PeriodicTask
+
+PeriodicTask::PeriodicTask(Simulation& sim, Time period, InlineFn fn)
     : sim_(sim), period_(period), fn_(std::move(fn)) {
-  assert(period_ > 0);
+  assert(period_ >= kMinPeriod);
+  // Release-build safety net: a non-positive period would tick forever at
+  // one timestamp; clamp so time always advances.
+  if (!(period_ >= kMinPeriod)) period_ = kMinPeriod;
+}
+
+void PeriodicTask::set_period(Time period) {
+  assert(period >= kMinPeriod);
+  if (!(period >= kMinPeriod)) return;  // reject: keep the current period
+  period_ = period;
 }
 
 void PeriodicTask::start(Time first_delay) {

@@ -1,24 +1,38 @@
 // Discrete-event simulation engine: a single-threaded event loop over
 // simulated time. All T-Storm substrates (network, executors, daemons)
 // schedule work here; determinism is guaranteed by (time, sequence) ordering.
+//
+// The hot path is allocation-free: callbacks are constructed in place into
+// sim::InlineFn slots inside a recycled slot map, and the ready queue is a
+// 4-ary binary heap of 24-byte (time-key, seq, slot, gen) records (4-ary:
+// half the depth and contiguous children, so a pop touches far less memory
+// than a binary heap). Cancellation is O(1) — the slot is reclaimed
+// immediately and its heap record is skipped when popped (the record
+// carries the slot generation it was issued for, so a recycled slot never
+// mis-fires a stale record). See docs/MODEL.md, "Engine internals &
+// performance".
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "sim/inline_fn.h"
 
 namespace tstorm::sim {
 
 /// Simulated time in seconds.
 using Time = double;
 
-/// Handle to a scheduled event; usable with Simulation::cancel().
+/// Handle to a scheduled event; usable with Simulation::cancel(). Encodes
+/// (slot generation << 32 | slot index); treat it as opaque.
 using EventId = std::uint64_t;
 
-/// Sentinel for "no event".
+/// Sentinel for "no event". Generations start at 1, so no issued id is 0.
 inline constexpr EventId kInvalidEvent = 0;
 
 /// A deterministic discrete-event simulator.
@@ -37,14 +51,40 @@ class Simulation {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t`. Times in the past are clamped to
-  /// now() (the event still runs, immediately after pending ones).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  /// now() (the event still runs, immediately after pending ones). The
+  /// callback is constructed directly into its event slot: closures within
+  /// InlineFn::kInlineBytes never touch the heap.
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_at(Time t, F&& fn) {
+    const std::uint32_t index = acquire_slot();
+    Slot& s = slots_[index];
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineFn>) {
+      s.fn = std::forward<F>(fn);
+    } else {
+      s.fn.emplace(std::forward<F>(fn));
+    }
+    s.armed = true;
+    heap_push(HeapItem{time_key(t > now_ ? t : now_), next_seq_++, index,
+                       s.gen});
+    ++live_;
+    return make_id(s.gen, index);
+  }
 
   /// Schedules `fn` after a relative delay `dt >= 0`.
-  EventId schedule_after(Time dt, std::function<void()> fn);
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_after(Time dt, F&& fn) {
+    assert(dt >= 0);
+    return schedule_at(now_ + dt, std::forward<F>(fn));
+  }
 
-  /// Cancels a pending event. Returns true if the event existed and had not
-  /// yet run. Cancelling an already-executed or invalid id is a no-op.
+  /// Cancels a pending event in O(1): the callback is destroyed and its
+  /// slot recycled immediately. Returns true if the event existed and had
+  /// not yet run. Cancelling an already-executed, already-cancelled, or
+  /// invalid id is a no-op returning false.
   bool cancel(EventId id);
 
   /// Executes the next pending event. Returns false if none remain or the
@@ -73,29 +113,72 @@ class Simulation {
   /// Number of scheduled events not yet executed or cancelled.
   [[nodiscard]] std::size_t pending() const { return live_; }
 
+  /// Pre-sizes the slot map and heap for an expected concurrent event
+  /// population, so even the warm-up phase never reallocates.
+  void reserve(std::size_t events);
+
  private:
-  struct Entry {
-    Time t = 0;
-    EventId id = kInvalidEvent;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;
-    }
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// One schedulable event. While armed, `fn` holds the callback and `gen`
+  /// is the generation its EventId was issued with; when free, the slot
+  /// sits on the freelist (via `next_free`) with `gen` already bumped, so
+  /// stale ids and stale heap records both fail their generation check.
+  struct Slot {
+    InlineFn fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
+    bool armed = false;
   };
 
-  // Pops cancelled entries off the top; returns false when queue is empty.
-  bool pop_next(Entry& out);
+  /// Heap record: 24-byte POD ordered by (tkey, seq). `seq` increments per
+  /// schedule call, which preserves the engine's documented ordering
+  /// semantics exactly (equal times run in scheduling order).
+  struct HeapItem {
+    std::uint64_t tkey;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  /// Times are clamped non-negative before encoding, and the IEEE-754 bit
+  /// pattern of non-negative doubles is order-preserving as an unsigned
+  /// integer — so heap comparisons are pure integer compares.
+  static std::uint64_t time_key(Time t) {
+    return std::bit_cast<std::uint64_t>(t);
+  }
+  static Time key_time(std::uint64_t key) {
+    return std::bit_cast<Time>(key);
+  }
+
+  static bool earlier(const HeapItem& a, const HeapItem& b) {
+    if (a.tkey != b.tkey) return a.tkey < b.tkey;
+    return a.seq < b.seq;
+  }
+
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
+  void heap_push(HeapItem item);
+  void heap_pop_top();
+  /// Drops cancelled records off the heap top; returns false when empty.
+  bool settle_top();
+  /// Pops the top (live) record, retires its slot, and moves the callback
+  /// out for execution.
+  InlineFn take_top(Time& t_out);
 
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<HeapItem> heap_;
 };
 
 /// Repeatedly runs a callback at a fixed period. Models the daemon loops in
@@ -104,8 +187,13 @@ class Simulation {
 /// scheduling parameters on the fly", paper section IV-A).
 class PeriodicTask {
  public:
+  /// Smallest accepted period: non-positive periods would arm an infinite
+  /// same-timestamp tick loop, so they are rejected (assert in debug
+  /// builds; clamped/ignored in release — see set_period()).
+  static constexpr Time kMinPeriod = 1e-9;
+
   /// Does not start automatically; call start().
-  PeriodicTask(Simulation& sim, Time period, std::function<void()> fn);
+  PeriodicTask(Simulation& sim, Time period, InlineFn fn);
   ~PeriodicTask() { stop(); }
 
   PeriodicTask(const PeriodicTask&) = delete;
@@ -121,15 +209,17 @@ class PeriodicTask {
 
   [[nodiscard]] Time period() const { return period_; }
 
-  /// Takes effect from the next tick onward.
-  void set_period(Time period) { period_ = period; }
+  /// Takes effect from the next tick onward. Non-positive or NaN periods
+  /// are invalid: they assert in debug builds and are ignored (the current
+  /// period is kept) in release builds.
+  void set_period(Time period);
 
  private:
   void tick();
 
   Simulation& sim_;
   Time period_;
-  std::function<void()> fn_;
+  InlineFn fn_;
   EventId pending_ = kInvalidEvent;
 };
 

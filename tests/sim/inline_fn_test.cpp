@@ -1,0 +1,178 @@
+#include "sim/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace tstorm::sim {
+namespace {
+
+detail::InlineFnStats snapshot() { return detail::inline_fn_stats(); }
+
+// Padded callable templates to hit each storage tier exactly.
+template <std::size_t Bytes>
+struct Padded {
+  int* counter;
+  std::array<unsigned char, Bytes> pad{};
+  void operator()() { ++*counter; }
+};
+
+TEST(InlineFn, EmptyByDefault) {
+  InlineFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn.reset();  // resetting an empty fn is a no-op
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, SmallCaptureStaysInline) {
+  const auto before = snapshot();
+  int count = 0;
+  InlineFn fn = Padded<16>{&count};
+  const auto after = snapshot();
+  EXPECT_EQ(after.inline_ctor, before.inline_ctor + 1);
+  EXPECT_EQ(after.pooled_ctor, before.pooled_ctor);
+  EXPECT_EQ(after.oversize_ctor, before.oversize_ctor);
+  fn();
+  fn();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(InlineFn, ExactlyInlineBytesStaysInline) {
+  struct Exact {
+    int* counter;
+    std::array<unsigned char, InlineFn::kInlineBytes - sizeof(int*)> pad{};
+    void operator()() { ++*counter; }
+  };
+  static_assert(sizeof(Exact) == InlineFn::kInlineBytes);
+  const auto before = snapshot();
+  int count = 0;
+  InlineFn fn = Exact{&count};
+  EXPECT_EQ(snapshot().inline_ctor, before.inline_ctor + 1);
+  fn();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(InlineFn, MediumCaptureUsesPool) {
+  const auto before = snapshot();
+  int count = 0;
+  InlineFn fn = Padded<64>{&count};
+  const auto after = snapshot();
+  EXPECT_EQ(after.pooled_ctor, before.pooled_ctor + 1);
+  EXPECT_EQ(after.oversize_ctor, before.oversize_ctor);
+  fn();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(InlineFn, HugeCaptureFallsBackToOperatorNew) {
+  const auto before = snapshot();
+  int count = 0;
+  InlineFn fn = Padded<512>{&count};
+  EXPECT_EQ(snapshot().oversize_ctor, before.oversize_ctor + 1);
+  fn();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(InlineFn, PoolRecyclesSlots) {
+  // Churn through many pooled callbacks; the pool should hand back the same
+  // slot each time once warmed (observable as the address captured below).
+  int count = 0;
+  {
+    InlineFn warm = Padded<64>{&count};
+  }
+  const auto before = snapshot();
+  for (int i = 0; i < 1000; ++i) {
+    InlineFn fn = Padded<64>{&count};
+    fn();
+  }
+  EXPECT_EQ(snapshot().pooled_ctor, before.pooled_ctor + 1000);
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int count = 0;
+  InlineFn a = Padded<16>{&count};
+  InlineFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(count, 1);
+
+  InlineFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  InlineFn holder = [t = std::move(token)] { (void)*t; };
+  EXPECT_FALSE(watch.expired());
+  int count = 0;
+  holder = InlineFn(Padded<16>{&count});
+  EXPECT_TRUE(watch.expired());  // old capture destroyed on assignment
+  holder();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(InlineFn, DestructorRunsCaptureDestructor) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFn fn = [t = std::move(token)] { (void)*t; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFn, PooledCaptureDestructorRunsOnReset) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InlineFn fn = [t = std::move(token),
+                 pad = std::array<unsigned char, 64>{}] { (void)*t; };
+  EXPECT_FALSE(watch.expired());
+  fn.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, EmplaceReplacesInPlace) {
+  int first = 0;
+  int second = 0;
+  InlineFn fn = Padded<16>{&first};
+  fn.emplace(Padded<16>{&second});
+  fn();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFn, PooledMoveStealsPointer) {
+  // Relocating a pooled callback must not re-enter the pool: only one
+  // pooled construction for the whole move chain.
+  const auto before = snapshot();
+  int count = 0;
+  InlineFn a = Padded<64>{&count};
+  InlineFn b = std::move(a);
+  InlineFn c = std::move(b);
+  EXPECT_EQ(snapshot().pooled_ctor, before.pooled_ctor + 1);
+  c();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(InlineFn, WorksWithStdFunctionStyleUsage) {
+  std::vector<int> seen;
+  std::vector<InlineFn> queue;
+  for (int i = 0; i < 5; ++i) {
+    queue.emplace_back([&seen, i] { seen.push_back(i); });
+  }
+  for (auto& fn : queue) fn();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace tstorm::sim

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "sim/rng.h"
 
 namespace tstorm::sim {
 namespace {
@@ -93,6 +97,46 @@ TEST(Simulation, CancelAfterExecutionIsNoOp) {
   sim.schedule_at(2.0, [&] { ran = true; });
   sim.run();
   EXPECT_TRUE(ran);
+}
+
+// Regression: the tombstone-based queue accepted cancels of
+// already-executed ids — it returned true, leaked a tombstone, and
+// decremented the live count below the real pending count.
+TEST(Simulation, CancelOfExecutedIdDoesNotCorruptPending) {
+  Simulation sim;
+  bool b_ran = false;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [&] { b_ran = true; });
+  sim.run_until(1.5);  // A executed, B still pending
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.cancel(a));  // still a no-op on repeat
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(b_ran);
+  EXPECT_EQ(sim.pending(), 0u);
+  // A fresh schedule/run cycle is unaffected by the stale id.
+  bool c_ran = false;
+  sim.schedule_after(1.0, [&] { c_ran = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(c_ran);
+}
+
+// A slot recycled after cancellation must not fire for its old event, and
+// the old event's id must not cancel the new occupant.
+TEST(Simulation, RecycledSlotDoesNotMisfire) {
+  Simulation sim;
+  int old_fires = 0;
+  int new_fires = 0;
+  const EventId old_id = sim.schedule_at(1.0, [&] { ++old_fires; });
+  EXPECT_TRUE(sim.cancel(old_id));
+  const EventId new_id = sim.schedule_at(1.0, [&] { ++new_fires; });
+  EXPECT_FALSE(sim.cancel(old_id));  // stale id, recycled slot
+  sim.run();
+  EXPECT_EQ(old_fires, 0);
+  EXPECT_EQ(new_fires, 1);
+  EXPECT_FALSE(sim.cancel(new_id));  // already executed
 }
 
 TEST(Simulation, PendingTracksLiveEvents) {
@@ -237,6 +281,71 @@ TEST(PeriodicTask, RestartResetsPhase) {
   task.start(2.0);  // restart from t=15
   sim.run_until(18.0);
   EXPECT_EQ(fires, (std::vector<double>{10.0, 17.0}));
+}
+
+TEST(PeriodicTask, RejectsInvalidPeriods) {
+#ifndef NDEBUG
+  Simulation sim;
+  EXPECT_DEATH(PeriodicTask(sim, 0.0, [] {}), "period");
+  EXPECT_DEATH(PeriodicTask(sim, -1.0, [] {}), "period");
+  {
+    PeriodicTask task(sim, 1.0, [] {});
+    EXPECT_DEATH(task.set_period(0.0), "period");
+    EXPECT_DEATH(task.set_period(-5.0), "period");
+  }
+#else
+  // Release builds clamp/ignore instead of aborting: the constructor clamps
+  // to kMinPeriod and set_period keeps the current period.
+  Simulation sim;
+  PeriodicTask clamped(sim, 0.0, [] {});
+  EXPECT_GE(clamped.period(), PeriodicTask::kMinPeriod);
+  PeriodicTask task(sim, 1.0, [] {});
+  task.set_period(0.0);
+  EXPECT_EQ(task.period(), 1.0);
+  task.set_period(-3.0);
+  EXPECT_EQ(task.period(), 1.0);
+  task.set_period(2.0);
+  EXPECT_EQ(task.period(), 2.0);
+#endif
+}
+
+// Randomized schedule/cancel/run workload; two identical runs must produce
+// identical execution orders and events_executed() counts.
+TEST(Simulation, FuzzedScheduleCancelRunIsDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulation sim;
+    Rng rng(seed);
+    std::vector<std::pair<double, int>> log;  // (time, tag) per execution
+    std::vector<EventId> open;
+    int next_tag = 0;
+    for (int round = 0; round < 200; ++round) {
+      const int burst = static_cast<int>(rng.uniform_int(1, 8));
+      for (int i = 0; i < burst; ++i) {
+        const double dt = rng.uniform(0.0, 5.0);
+        const int tag = next_tag++;
+        open.push_back(sim.schedule_after(
+            dt, [&log, &sim, tag] { log.emplace_back(sim.now(), tag); }));
+      }
+      // Cancel a random subset of still-open ids (some already executed or
+      // cancelled — cancel() must tolerate both).
+      const int cancels = static_cast<int>(rng.uniform_int(0, 3));
+      for (int i = 0; i < cancels && !open.empty(); ++i) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(open.size()) - 1));
+        sim.cancel(open[pick]);
+      }
+      sim.run_until(sim.now() + rng.uniform(0.0, 2.0));
+    }
+    sim.run();
+    return std::make_pair(log, sim.events_executed());
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_FALSE(a.first.empty());
+  // A different seed should exercise a different trajectory.
+  EXPECT_NE(run_once(7).first, a.first);
 }
 
 TEST(Simulation, DeterministicAcrossRuns) {
