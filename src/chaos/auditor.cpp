@@ -1,0 +1,160 @@
+#include "chaos/auditor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "runtime/cluster.h"
+
+namespace tstorm::chaos {
+
+std::string AuditReport::to_string() const {
+  std::string out;
+  for (const std::string& v : violations) {
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void violate(AuditReport& report, std::string message) {
+  report.violations.push_back(std::move(message));
+}
+
+}  // namespace
+
+void InvariantAuditor::check_conservation(AuditReport& report) const {
+  const metrics::CompletionRecorder& rec = cluster_.completion();
+  const runtime::TupleTracker& tracker = cluster_.tracker();
+  // Late completions re-resolve roots already counted as failures.
+  const std::uint64_t on_time = rec.total_completed() - rec.total_late();
+  const std::uint64_t resolved = on_time + rec.total_failed();
+  const std::uint64_t expected =
+      tracker.total_registered() - tracker.in_flight();
+  if (resolved != expected) {
+    violate(report,
+            "tuple conservation broken: on_time(" + std::to_string(on_time) +
+                ") + failed(" + std::to_string(rec.total_failed()) +
+                ") = " + std::to_string(resolved) + " but registered(" +
+                std::to_string(tracker.total_registered()) + ") - in_flight(" +
+                std::to_string(tracker.in_flight()) + ") = " +
+                std::to_string(expected));
+  }
+  if (rec.total_late() > rec.total_failed()) {
+    violate(report, "more late completions (" +
+                        std::to_string(rec.total_late()) +
+                        ") than failures (" +
+                        std::to_string(rec.total_failed()) + ")");
+  }
+}
+
+void InvariantAuditor::check_executor_registrations(
+    AuditReport& report) const {
+  // Collect every worker a supervisor still owns (current or draining).
+  std::unordered_set<const runtime::Worker*> owned;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    runtime::Supervisor& sup = cluster_.supervisor(n);
+    for (int port = 0; port < cluster_.slots_on_node(n); ++port) {
+      if (const runtime::Worker* w = sup.worker_at(port)) owned.insert(w);
+    }
+    for (const auto& w : sup.draining()) owned.insert(w.get());
+  }
+  for (runtime::Executor* e : cluster_.registered_executors()) {
+    const runtime::Worker& w = e->worker();
+    if (owned.find(&w) == owned.end()) {
+      violate(report, "dangling executor registration: task " +
+                          std::to_string(e->task()) +
+                          " registered but its worker (slot " +
+                          std::to_string(w.slot()) +
+                          ") is not owned by any supervisor");
+      continue;
+    }
+    if (w.state() != runtime::WorkerState::kRunning &&
+        w.state() != runtime::WorkerState::kDraining) {
+      violate(report, "executor for task " + std::to_string(e->task()) +
+                          " registered but its worker is " +
+                          runtime::to_string(w.state()));
+    }
+    if (!e->running()) {
+      violate(report, "executor for task " + std::to_string(e->task()) +
+                          " registered but not running");
+    }
+  }
+}
+
+void InvariantAuditor::check_drop_attribution(AuditReport& report) const {
+  // Cluster::send is the only caller of Network::send, and it files every
+  // fault-model loss under kNetworkLoss — the two counters must agree.
+  std::uint64_t net_dropped = 0;
+  for (net::LinkType type :
+       {net::LinkType::kIntraProcess, net::LinkType::kInterProcess,
+        net::LinkType::kInterNode}) {
+    net_dropped += cluster_.network().stats(type).dropped;
+  }
+  const std::uint64_t attributed =
+      cluster_.dropped_by(runtime::DropCause::kNetworkLoss);
+  if (net_dropped != attributed) {
+    violate(report, "drop attribution mismatch: network dropped " +
+                        std::to_string(net_dropped) +
+                        " data messages but kNetworkLoss counts " +
+                        std::to_string(attributed));
+  }
+}
+
+void InvariantAuditor::check_tracker_shape(AuditReport& report) const {
+  const runtime::TupleTracker& tracker = cluster_.tracker();
+  if (tracker.in_flight() > tracker.tracked_entries()) {
+    violate(report, "tracker in_flight (" +
+                        std::to_string(tracker.in_flight()) +
+                        ") exceeds tracked entries (" +
+                        std::to_string(tracker.tracked_entries()) + ")");
+  }
+}
+
+void InvariantAuditor::check_tracker_drained(AuditReport& report) const {
+  const runtime::TupleTracker& tracker = cluster_.tracker();
+  if (tracker.in_flight() != 0) {
+    violate(report, "tracker leak: " + std::to_string(tracker.in_flight()) +
+                        " roots still in flight after quiesce");
+  }
+  if (tracker.tracked_entries() != 0) {
+    violate(report, "tracker leak: " +
+                        std::to_string(tracker.tracked_entries()) +
+                        " entries still tracked after quiesce");
+  }
+}
+
+void InvariantAuditor::check_pending_bounded(AuditReport& report) const {
+  // Quiesced baseline: per active node a sync + heartbeat tick, the
+  // detector sweep, per live executor a poll/tick event, plus generous
+  // slack for one-shot straggler events (drain timers, spike restores).
+  const std::size_t executors = cluster_.registered_executors().size();
+  const std::size_t bound = 3 * static_cast<std::size_t>(
+                                    std::max(1, cluster_.num_nodes())) +
+                            3 * executors + 64;
+  if (cluster_.sim().pending() > bound) {
+    violate(report, "pending-event leak: " +
+                        std::to_string(cluster_.sim().pending()) +
+                        " events pending after quiesce (baseline bound " +
+                        std::to_string(bound) + ")");
+  }
+}
+
+AuditReport InvariantAuditor::check_now() const {
+  AuditReport report;
+  check_conservation(report);
+  check_executor_registrations(report);
+  check_drop_attribution(report);
+  check_tracker_shape(report);
+  return report;
+}
+
+AuditReport InvariantAuditor::check_quiesced() const {
+  AuditReport report = check_now();
+  check_tracker_drained(report);
+  check_pending_bounded(report);
+  return report;
+}
+
+}  // namespace tstorm::chaos

@@ -1,0 +1,67 @@
+// InvariantAuditor: cross-checks a cluster's internal accounting against
+// the conservation laws a correct runtime must obey under arbitrary fault
+// schedules. The chaos soak runs it against every seed; a single violation
+// fails the run with a human-readable explanation.
+//
+// Instant invariants (hold at any time, faults in progress or not):
+//   * Tuple conservation: every registered root is in exactly one state —
+//       total_registered == on_time_completions + failures + in_flight
+//     (late completions re-resolve an already-counted failure, so they are
+//     excluded from the left-hand completion term).
+//   * No dangling executor registrations: every executor in the cluster's
+//     router belongs to a live (running/draining) worker that is still
+//     owned by a supervisor.
+//   * Drop attribution: the network's per-link dropped counters sum to the
+//     cluster's kNetworkLoss drop cause.
+//   * Tracker shape: in_flight <= tracked entries (failed entries linger
+//     for the late-ack grace window, live ones are a subset).
+//
+// Quiesced invariants (hold once spouts are silenced and the late-ack
+// grace window has elapsed):
+//   * The tracker drained: no entries, nothing in flight.
+//   * Pending-event accounting: only the periodic daemon baseline remains
+//     (supervisor sync/heartbeat loops, detector sweep, executor polls) —
+//     a per-tuple event leak shows up here as an unbounded count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tstorm::runtime {
+class Cluster;
+}
+
+namespace tstorm::chaos {
+
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// All violations joined as lines (empty string when ok).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(runtime::Cluster& cluster) : cluster_(cluster) {}
+
+  /// Instant invariants — safe to call at any simulation time.
+  [[nodiscard]] AuditReport check_now() const;
+
+  /// Instant + quiesced invariants. Call only after the workload has been
+  /// stopped and at least (1 + late_ack_grace_factor) * tuple_timeout of
+  /// simulated time has passed since the last emission.
+  [[nodiscard]] AuditReport check_quiesced() const;
+
+ private:
+  void check_conservation(AuditReport& report) const;
+  void check_executor_registrations(AuditReport& report) const;
+  void check_drop_attribution(AuditReport& report) const;
+  void check_tracker_shape(AuditReport& report) const;
+  void check_tracker_drained(AuditReport& report) const;
+  void check_pending_bounded(AuditReport& report) const;
+
+  runtime::Cluster& cluster_;
+};
+
+}  // namespace tstorm::chaos

@@ -1,0 +1,228 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+
+#include "runtime/cluster.h"
+#include "sim/rng.h"
+#include "trace/trace.h"
+
+namespace tstorm::chaos {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNodeRecover:
+      return "node-recover";
+    case FaultKind::kWorkerKill:
+      return "worker-kill";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLossSpike:
+      return "loss-spike";
+  }
+  return "?";
+}
+
+std::string describe(const FaultAction& a) {
+  std::string s = to_string(a.kind);
+  switch (a.kind) {
+    case FaultKind::kNodeCrash:
+    case FaultKind::kNodeRecover:
+      s += " node=" + std::to_string(a.node);
+      break;
+    case FaultKind::kWorkerKill:
+      s += " node=" + std::to_string(a.node) + " port=" +
+           std::to_string(a.port);
+      break;
+    case FaultKind::kPartition:
+      s += " node=" + std::to_string(a.node);
+      if (a.peer == net::Network::kMaster) {
+        s += " peer=master";
+      } else if (a.peer == net::Network::kAnyPeer) {
+        s += " peer=any";
+      } else {
+        s += " peer=" + std::to_string(a.peer);
+      }
+      s += " duration=" + std::to_string(a.duration);
+      break;
+    case FaultKind::kLossSpike:
+      s += " p=" + std::to_string(a.drop_prob) + " duration=" +
+           std::to_string(a.duration) + (a.control ? " +control" : "");
+      break;
+  }
+  return s;
+}
+
+FaultPlan& FaultPlan::add(FaultAction action) {
+  actions_.push_back(action);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_node(sim::Time at, int node, sim::Time downtime) {
+  FaultAction crash;
+  crash.at = at;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.node = node;
+  add(crash);
+  FaultAction recover;
+  recover.at = at + downtime;
+  recover.kind = FaultKind::kNodeRecover;
+  recover.node = node;
+  return add(recover);
+}
+
+FaultPlan& FaultPlan::kill_worker(sim::Time at, int node, int port) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultKind::kWorkerKill;
+  a.node = node;
+  a.port = port;
+  return add(a);
+}
+
+FaultPlan& FaultPlan::partition(sim::Time at, int node, int peer,
+                                sim::Time duration) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultKind::kPartition;
+  a.node = node;
+  a.peer = peer;
+  a.duration = duration;
+  return add(a);
+}
+
+FaultPlan& FaultPlan::loss_spike(sim::Time at, double drop_prob,
+                                 sim::Time duration, bool control) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultKind::kLossSpike;
+  a.drop_prob = drop_prob;
+  a.duration = duration;
+  a.control = control;
+  return add(a);
+}
+
+FaultPlan FaultPlan::random(const RandomPlanOptions& opt, std::uint64_t seed,
+                            int num_nodes, int slots_per_node) {
+  FaultPlan plan;
+  sim::Rng rng(seed ^ 0x6368616f732d706cULL);
+  const sim::Time span = std::max<sim::Time>(opt.end - opt.start, 1.0);
+
+  // Crash/recover pairs: one per disjoint segment of [start, end], downtime
+  // confined to the segment — at most one node down at a time, and every
+  // node is back before the plan ends.
+  if (opt.crashes > 0 && num_nodes > 1) {
+    const sim::Time seg = span / opt.crashes;
+    for (int i = 0; i < opt.crashes; ++i) {
+      const sim::Time seg_start = opt.start + i * seg;
+      const sim::Time latest_start =
+          std::max<sim::Time>(seg_start, seg_start + seg - opt.min_downtime);
+      const sim::Time at = rng.uniform(seg_start, latest_start);
+      const sim::Time cap =
+          std::max<sim::Time>(opt.min_downtime, seg_start + seg - at);
+      const sim::Time downtime = rng.uniform(
+          opt.min_downtime, std::min<sim::Time>(opt.max_downtime, cap));
+      const int node =
+          static_cast<int>(rng.uniform_int(0, num_nodes - 1));
+      plan.crash_node(at, node, downtime);
+    }
+  }
+
+  for (int i = 0; i < opt.worker_kills; ++i) {
+    const sim::Time at = rng.uniform(opt.start, opt.end);
+    const int node = static_cast<int>(rng.uniform_int(0, num_nodes - 1));
+    const int port =
+        static_cast<int>(rng.uniform_int(0, std::max(0, slots_per_node - 1)));
+    plan.kill_worker(at, node, port);
+  }
+
+  // Half the partitions sever a node from the master (heartbeat starvation
+  // -> false-positive detection), half sever a data path between two nodes.
+  for (int i = 0; i < opt.partitions; ++i) {
+    const sim::Time at =
+        rng.uniform(opt.start, std::max(opt.start, opt.end - opt.min_partition));
+    const sim::Time duration =
+        rng.uniform(opt.min_partition, opt.max_partition);
+    const int node = static_cast<int>(rng.uniform_int(0, num_nodes - 1));
+    int peer = net::Network::kMaster;
+    if (num_nodes > 1 && rng.bernoulli(0.5)) {
+      peer = static_cast<int>(rng.uniform_int(0, num_nodes - 2));
+      if (peer >= node) ++peer;  // distinct from `node`
+    }
+    plan.partition(at, node, peer, duration);
+  }
+
+  for (int i = 0; i < opt.loss_spikes; ++i) {
+    const sim::Time at =
+        rng.uniform(opt.start, std::max(opt.start, opt.end - opt.min_spike));
+    const sim::Time duration = rng.uniform(opt.min_spike, opt.max_spike);
+    const double p = rng.uniform(0.0, opt.max_drop_prob);
+    plan.loss_spike(at, p, duration, rng.bernoulli(0.5));
+  }
+
+  std::stable_sort(plan.actions_.begin(), plan.actions_.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+namespace {
+
+void apply(runtime::Cluster& cluster, const FaultAction& a) {
+  trace::Event ev;
+  ev.time = cluster.sim().now();
+  ev.kind = trace::EventKind::kChaosFault;
+  ev.node = a.node;
+  ev.detail = describe(a);
+  cluster.trace_log().record(std::move(ev));
+
+  switch (a.kind) {
+    case FaultKind::kNodeCrash:
+      cluster.fail_node(a.node);
+      break;
+    case FaultKind::kNodeRecover:
+      cluster.recover_node(a.node);
+      break;
+    case FaultKind::kWorkerKill:
+      cluster.kill_worker(a.node, a.port);
+      break;
+    case FaultKind::kPartition:
+      cluster.network().add_partition(a.node, a.peer, cluster.sim().now(),
+                                      cluster.sim().now() + a.duration);
+      break;
+    case FaultKind::kLossSpike: {
+      net::Network& net = cluster.network();
+      // Revert to the values observed when the spike begins, so plans that
+      // layer spikes over a configured baseline restore it correctly.
+      const double old_data = net.drop_prob(net::LinkType::kInterNode);
+      const double old_ctl = net.control_drop_prob();
+      net.set_drop_prob(net::LinkType::kInterNode, a.drop_prob);
+      if (a.control) net.set_control_drop_prob(a.drop_prob);
+      runtime::Cluster* c = &cluster;
+      const bool control = a.control;
+      cluster.sim().schedule_after(
+          a.duration, [c, old_data, old_ctl, control] {
+            c->network().set_drop_prob(net::LinkType::kInterNode, old_data);
+            if (control) c->network().set_control_drop_prob(old_ctl);
+          });
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void FaultPlan::inject(runtime::Cluster& cluster) const {
+  for (const FaultAction& action : actions_) {
+    runtime::Cluster* c = &cluster;
+    // The action is copied into the closure (FaultAction is 48 bytes, so
+    // with the cluster pointer this takes the callback pool's slow path —
+    // fine for a handful of cold injections).
+    FaultAction a = action;
+    cluster.sim().schedule_at(a.at, [c, a] { apply(*c, a); });
+  }
+}
+
+}  // namespace tstorm::chaos

@@ -1,0 +1,113 @@
+// FaultPlan: a deterministic schedule of fault injections against a running
+// cluster. Plans are either scripted (builder methods) or generated from a
+// seed (FaultPlan::random) — the same seed always yields the same plan, and
+// because every injection runs as an ordinary simulation event, a chaos run
+// is exactly as reproducible as a fault-free one. Each firing is recorded in
+// the cluster's trace log as kChaosFault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace tstorm::runtime {
+class Cluster;
+}
+
+namespace tstorm::chaos {
+
+enum class FaultKind : std::uint8_t {
+  /// The machine goes down (Cluster::fail_node): workers die, supervisor
+  /// stops syncing and heartbeating.
+  kNodeCrash,
+  /// The machine comes back empty (Cluster::recover_node); its supervisor
+  /// resumes syncing and heartbeating.
+  kNodeRecover,
+  /// One worker process dies (Cluster::kill_worker); the supervisor
+  /// restarts it on its next sync.
+  kWorkerKill,
+  /// A time-windowed partition between `node` and `peer` (peer may be
+  /// net::Network::kMaster or kAnyPeer).
+  kPartition,
+  /// A transient loss spike: inter-node drop probability (and optionally
+  /// the control plane's) jumps to `drop_prob` for `duration`, then reverts
+  /// to whatever it was when the spike began.
+  kLossSpike,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultAction {
+  sim::Time at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  int node = -1;
+  /// Partition peer (kPartition only).
+  int peer = net::Network::kMaster;
+  /// Worker port (kWorkerKill only).
+  int port = 0;
+  /// Window length (kPartition, kLossSpike).
+  sim::Time duration = 0;
+  /// Spike magnitude (kLossSpike only).
+  double drop_prob = 0.0;
+  /// kLossSpike: also spike the control plane (heartbeats).
+  bool control = false;
+};
+
+/// One-line human-readable description (used as the trace event detail).
+std::string describe(const FaultAction& action);
+
+/// Knobs for FaultPlan::random. Crash windows are confined to disjoint time
+/// segments, so at most one node is down at any instant and every crashed
+/// node recovers before `end` — random plans are violent but survivable.
+struct RandomPlanOptions {
+  sim::Time start = 60.0;  ///< leave topology warm-up alone
+  sim::Time end = 540.0;
+  int crashes = 2;  ///< crash/recover pairs
+  sim::Time min_downtime = 20.0;
+  sim::Time max_downtime = 60.0;
+  int worker_kills = 3;
+  int partitions = 2;
+  sim::Time min_partition = 10.0;
+  sim::Time max_partition = 30.0;
+  int loss_spikes = 2;
+  double max_drop_prob = 0.05;
+  sim::Time min_spike = 10.0;
+  sim::Time max_spike = 40.0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// --- Scripted construction. ---
+  FaultPlan& add(FaultAction action);
+  /// Crash at `at`, recover `downtime` later.
+  FaultPlan& crash_node(sim::Time at, int node, sim::Time downtime);
+  FaultPlan& kill_worker(sim::Time at, int node, int port);
+  FaultPlan& partition(sim::Time at, int node, int peer, sim::Time duration);
+  FaultPlan& loss_spike(sim::Time at, double drop_prob, sim::Time duration,
+                        bool control = false);
+
+  /// Seed-deterministic random plan for a cluster of `num_nodes` nodes with
+  /// `slots_per_node` ports each. Same (options, seed, shape) => same plan.
+  static FaultPlan random(const RandomPlanOptions& options,
+                          std::uint64_t seed, int num_nodes,
+                          int slots_per_node);
+
+  [[nodiscard]] const std::vector<FaultAction>& actions() const {
+    return actions_;
+  }
+  [[nodiscard]] bool empty() const { return actions_.empty(); }
+
+  /// Schedules every action into the cluster's simulation. The plan itself
+  /// is copied into the scheduled closures — it need not outlive the call.
+  void inject(runtime::Cluster& cluster) const;
+
+ private:
+  std::vector<FaultAction> actions_;
+};
+
+}  // namespace tstorm::chaos

@@ -19,8 +19,64 @@ const char* to_string(LinkType type) {
   return "?";
 }
 
-Network::Network(sim::Simulation& sim, NetworkConfig config, int num_nodes)
-    : sim_(sim), config_(config), num_nodes_(num_nodes) {
+namespace {
+
+double clamp_nonneg(double v, const char* what) {
+  (void)what;
+  assert(v >= 0.0 && "NetworkConfig: value must be non-negative");
+  return std::max(0.0, v);
+}
+
+double clamp_prob(double v, const char* what) {
+  (void)what;
+  assert(v >= 0.0 && v <= 1.0 &&
+         "NetworkConfig: probability must be in [0, 1]");
+  return std::clamp(v, 0.0, 1.0);
+}
+
+double clamp_positive(double v, double fallback, const char* what) {
+  (void)what;
+  assert(v > 0.0 && "NetworkConfig: value must be positive");
+  return v > 0.0 ? v : fallback;
+}
+
+}  // namespace
+
+NetworkConfig validated(NetworkConfig config) {
+  config.intra_process_latency =
+      clamp_nonneg(config.intra_process_latency, "intra_process_latency");
+  config.inter_process_latency =
+      clamp_nonneg(config.inter_process_latency, "inter_process_latency");
+  config.inter_node_latency =
+      clamp_nonneg(config.inter_node_latency, "inter_node_latency");
+  config.serialization_per_byte =
+      clamp_nonneg(config.serialization_per_byte, "serialization_per_byte");
+  config.nic_bandwidth = clamp_positive(
+      config.nic_bandwidth, NetworkConfig{}.nic_bandwidth, "nic_bandwidth");
+  config.loopback_bandwidth =
+      clamp_positive(config.loopback_bandwidth,
+                     NetworkConfig{}.loopback_bandwidth, "loopback_bandwidth");
+  config.batch_factor = clamp_positive(
+      config.batch_factor, NetworkConfig{}.batch_factor, "batch_factor");
+  config.intra_process_drop_prob =
+      clamp_prob(config.intra_process_drop_prob, "intra_process_drop_prob");
+  config.inter_process_drop_prob =
+      clamp_prob(config.inter_process_drop_prob, "inter_process_drop_prob");
+  config.inter_node_drop_prob =
+      clamp_prob(config.inter_node_drop_prob, "inter_node_drop_prob");
+  config.control_drop_prob =
+      clamp_prob(config.control_drop_prob, "control_drop_prob");
+  config.latency_jitter_frac =
+      clamp_prob(config.latency_jitter_frac, "latency_jitter_frac");
+  return config;
+}
+
+Network::Network(sim::Simulation& sim, NetworkConfig config, int num_nodes,
+                 std::uint64_t seed)
+    : sim_(sim),
+      config_(validated(config)),
+      num_nodes_(num_nodes),
+      rng_(seed) {
   assert(num_nodes > 0);
   nic_free_.assign(static_cast<std::size_t>(num_nodes), 0.0);
 }
@@ -33,7 +89,91 @@ std::uint64_t Network::framed_bytes(std::uint64_t payload) const {
   return payload + static_cast<std::uint64_t>(std::ceil(header));
 }
 
-void Network::send(int src_node, [[maybe_unused]] int dst_node, LinkType type,
+void Network::set_drop_prob(LinkType type, double prob) {
+  prob = clamp_prob(prob, "drop_prob");
+  switch (type) {
+    case LinkType::kIntraProcess:
+      config_.intra_process_drop_prob = prob;
+      break;
+    case LinkType::kInterProcess:
+      config_.inter_process_drop_prob = prob;
+      break;
+    case LinkType::kInterNode:
+      config_.inter_node_drop_prob = prob;
+      break;
+  }
+}
+
+double Network::drop_prob(LinkType type) const {
+  switch (type) {
+    case LinkType::kIntraProcess:
+      return config_.intra_process_drop_prob;
+    case LinkType::kInterProcess:
+      return config_.inter_process_drop_prob;
+    case LinkType::kInterNode:
+      return config_.inter_node_drop_prob;
+  }
+  return 0.0;
+}
+
+void Network::set_control_drop_prob(double prob) {
+  config_.control_drop_prob = clamp_prob(prob, "control_drop_prob");
+}
+
+void Network::set_latency_jitter(double frac) {
+  config_.latency_jitter_frac = clamp_prob(frac, "latency_jitter_frac");
+}
+
+void Network::add_partition(int a, int b, sim::Time from, sim::Time until) {
+  assert(a >= 0 && a < num_nodes_);
+  assert(b == kMaster || b == kAnyPeer || (b >= 0 && b < num_nodes_));
+  if (until <= from) return;
+  prune_partitions();
+  partitions_.push_back({a, b, from, until});
+}
+
+void Network::isolate(int node, sim::Time from, sim::Time until) {
+  add_partition(node, kAnyPeer, from, until);
+}
+
+bool Network::partitioned(int a, int b) const {
+  const sim::Time now = sim_.now();
+  for (const auto& p : partitions_) {
+    if (now < p.from || now >= p.until) continue;
+    const bool fwd = p.a == a && (p.b == b || p.b == kAnyPeer);
+    const bool rev = p.a == b && (p.b == a || p.b == kAnyPeer);
+    if (fwd || rev) return true;
+  }
+  return false;
+}
+
+void Network::prune_partitions() {
+  if (partitions_.empty()) return;
+  const sim::Time now = sim_.now();
+  std::erase_if(partitions_,
+                [now](const Partition& p) { return p.until <= now; });
+}
+
+bool Network::message_lost(int src_node, int dst_node, LinkType type) {
+  if (!partitions_.empty()) {
+    prune_partitions();
+    // Partitions sever machine-to-machine paths only; co-located workers
+    // keep talking through local IPC / in-process queues.
+    if (type == LinkType::kInterNode && partitioned(src_node, dst_node)) {
+      return true;
+    }
+  }
+  const double p = drop_prob(type);
+  return p > 0.0 && rng_.bernoulli(p);
+}
+
+double Network::jitter_factor() {
+  const double j = config_.latency_jitter_frac;
+  if (j <= 0.0) return 1.0;
+  return 1.0 + j * rng_.uniform(-1.0, 1.0);
+}
+
+bool Network::send(int src_node, int dst_node, LinkType type,
                    std::uint64_t payload_bytes, sim::InlineFn on_delivery,
                    double extra_latency) {
   assert(src_node >= 0 && src_node < num_nodes_);
@@ -44,14 +184,19 @@ void Network::send(int src_node, [[maybe_unused]] int dst_node, LinkType type,
   ++st.messages;
   st.bytes += payload_bytes;
 
+  if (message_lost(src_node, dst_node, type)) {
+    ++st.dropped;
+    return false;
+  }
+
   sim::Time delivery = sim_.now();
   switch (type) {
     case LinkType::kIntraProcess:
-      delivery += config_.intra_process_latency;
+      delivery += config_.intra_process_latency * jitter_factor();
       break;
     case LinkType::kInterProcess: {
       const auto bytes = framed_bytes(payload_bytes);
-      delivery += config_.inter_process_latency +
+      delivery += config_.inter_process_latency * jitter_factor() +
                   static_cast<double>(bytes) * config_.serialization_per_byte +
                   static_cast<double>(bytes) / config_.loopback_bandwidth;
       break;
@@ -62,12 +207,27 @@ void Network::send(int src_node, [[maybe_unused]] int dst_node, LinkType type,
       auto& free_at = nic_free_[static_cast<std::size_t>(src_node)];
       const sim::Time start = std::max(sim_.now(), free_at);
       free_at = start + tx;
-      delivery = free_at + config_.inter_node_latency +
+      delivery = free_at + config_.inter_node_latency * jitter_factor() +
                  static_cast<double>(bytes) * config_.serialization_per_byte;
       break;
     }
   }
   sim_.schedule_at(delivery + extra_latency, std::move(on_delivery));
+  return true;
+}
+
+bool Network::control_lost(int src_node) {
+  assert(src_node >= 0 && src_node < num_nodes_);
+  bool lost = false;
+  if (!partitions_.empty()) {
+    prune_partitions();
+    lost = partitioned(src_node, kMaster);
+  }
+  if (!lost && config_.control_drop_prob > 0.0) {
+    lost = rng_.bernoulli(config_.control_drop_prob);
+  }
+  if (lost) ++control_drops_;
+  return lost;
 }
 
 double Network::estimate_delay(int src_node, LinkType type,
@@ -99,6 +259,7 @@ const LinkStats& Network::stats(LinkType type) const {
 
 void Network::reset_stats() {
   for (auto& s : stats_) s = LinkStats{};
+  control_drops_ = 0;
 }
 
 }  // namespace tstorm::net

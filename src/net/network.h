@@ -12,11 +12,21 @@
 // The NIC egress queue gives bandwidth contention: many large tuples leaving
 // one node queue behind each other, which is what makes spreading a hot
 // topology across nodes expensive for 10 KB tuples (Throughput Test).
+//
+// On top of the delay model sits a deterministic fault model (all off by
+// default): per-link-class drop probabilities, multiplicative latency
+// jitter, and time-windowed node-pair partitions. Faults are sampled from
+// the network's own RNG substream so enabling them never perturbs workload
+// or scheduling randomness. Lost messages are counted in LinkStats::dropped
+// and surface to callers as send() returning false — the data path turns
+// that into a tuple timeout + replay, the control path into a missed
+// heartbeat.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sim/rng.h"
 #include "sim/simulation.h"
 
 namespace tstorm::net {
@@ -51,19 +61,55 @@ struct NetworkConfig {
   /// Average number of tuples batched per physical message; amortizes
   /// header_bytes and per-message latency (Storm batches transfers).
   double batch_factor = 4.0;
+
+  /// --- Fault model (all zero: the seed's perfect network). ---
+  /// Independent per-message loss probability by link class, in [0, 1].
+  double intra_process_drop_prob = 0.0;
+  double inter_process_drop_prob = 0.0;
+  double inter_node_drop_prob = 0.0;
+
+  /// Loss probability of control-plane messages (supervisor heartbeats to
+  /// the coordination store), sampled by control_lost(). Kept separate from
+  /// inter_node_drop_prob so heartbeat loss (false-positive detection) and
+  /// data loss (replay pressure) can be injected independently.
+  double control_drop_prob = 0.0;
+
+  /// Multiplicative jitter on the fixed-latency component of a delivery:
+  /// latency *= 1 + frac * U(-1, 1). Queueing/transmission terms are not
+  /// jittered (they model capacity, not path noise). Must be in [0, 1].
+  double latency_jitter_frac = 0.0;
 };
+
+/// Debug builds assert on invalid values (negative latencies/probabilities,
+/// probabilities > 1, non-positive bandwidths or batch factors); release
+/// builds clamp them to the nearest valid value — the same
+/// assert-in-debug / reject-in-release pattern as PeriodicTask::set_period.
+/// Network's constructor applies this to its config.
+[[nodiscard]] NetworkConfig validated(NetworkConfig config);
 
 /// Per-link-class running totals.
 struct LinkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  /// Messages lost by the fault model (random drop or partition). Counted
+  /// messages include dropped ones.
+  std::uint64_t dropped = 0;
 };
 
 /// Event-driven network: computes a delivery time for each message and
 /// schedules the receiver callback. Single-threaded; owned by the cluster.
 class Network {
  public:
-  Network(sim::Simulation& sim, NetworkConfig config, int num_nodes);
+  /// Partition peer designating the control-plane endpoint (the machine
+  /// hosting Nimbus + the coordination store, outside the worker cluster).
+  static constexpr int kMaster = -1;
+  /// Wildcard peer: partitions the node from every peer including kMaster.
+  static constexpr int kAnyPeer = -2;
+
+  /// `seed` drives the fault model's private RNG substream; two networks
+  /// built with the same config/seed drop and jitter identically.
+  Network(sim::Simulation& sim, NetworkConfig config, int num_nodes,
+          std::uint64_t seed = 0x6e65742d6661756cULL);
 
   /// Sends `payload_bytes` from `src_node` to `dst_node` over the given link
   /// class, invoking `on_delivery` when the message arrives. For intra-node
@@ -72,14 +118,43 @@ class Network {
   /// `on_delivery` is the simulator's inline callback type: keep captures
   /// within sim::InlineFn::kInlineBytes (a handle, not a payload) so the
   /// per-message hot path stays allocation-free.
-  void send(int src_node, int dst_node, LinkType type,
+  ///
+  /// Returns false when the fault model lost the message: `on_delivery`
+  /// will never run and the caller owns the cleanup (for data tuples the
+  /// tracker timeout eventually replays the root).
+  bool send(int src_node, int dst_node, LinkType type,
             std::uint64_t payload_bytes, sim::InlineFn on_delivery,
             double extra_latency = 0.0);
 
   /// Computes the one-way delay the next message of this size would see,
-  /// without sending (used by tests and capacity planning).
+  /// without sending (used by tests and capacity planning). Ignores faults.
   [[nodiscard]] double estimate_delay(int src_node, LinkType type,
                                       std::uint64_t payload_bytes) const;
+
+  /// --- Fault injection (chaos layer). ---
+  /// Runtime overrides of the config's drop probabilities / jitter.
+  void set_drop_prob(LinkType type, double prob);
+  void set_control_drop_prob(double prob);
+  void set_latency_jitter(double frac);
+  [[nodiscard]] double drop_prob(LinkType type) const;
+  [[nodiscard]] double control_drop_prob() const {
+    return config_.control_drop_prob;
+  }
+
+  /// Severs traffic between `a` and `b` (either direction) during
+  /// [from, until). `b` may be kMaster (heartbeats only) or kAnyPeer
+  /// (isolates `a` completely). Expired windows are pruned lazily.
+  void add_partition(int a, int b, sim::Time from, sim::Time until);
+  /// Convenience: partitions `node` from every peer and from the master.
+  void isolate(int node, sim::Time from, sim::Time until);
+  /// True if an active partition currently severs a <-> b.
+  [[nodiscard]] bool partitioned(int a, int b) const;
+
+  /// Samples the fate of one control-plane message (heartbeat) from
+  /// `src_node` to the master endpoint: true = lost (partitioned away or
+  /// dropped). Lost control messages are counted in control_drops().
+  bool control_lost(int src_node);
+  [[nodiscard]] std::uint64_t control_drops() const { return control_drops_; }
 
   [[nodiscard]] const LinkStats& stats(LinkType type) const;
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
@@ -89,7 +164,19 @@ class Network {
   void reset_stats();
 
  private:
+  struct Partition {
+    int a;
+    int b;
+    sim::Time from;
+    sim::Time until;
+  };
+
   [[nodiscard]] std::uint64_t framed_bytes(std::uint64_t payload) const;
+  /// Samples the fault model for one data message; true = lost.
+  bool message_lost(int src_node, int dst_node, LinkType type);
+  /// Jitter multiplier for one message's fixed-latency component.
+  double jitter_factor();
+  void prune_partitions();
 
   sim::Simulation& sim_;
   NetworkConfig config_;
@@ -97,6 +184,9 @@ class Network {
   /// Earliest time each node's NIC egress is free.
   std::vector<sim::Time> nic_free_;
   LinkStats stats_[3];
+  std::uint64_t control_drops_ = 0;
+  std::vector<Partition> partitions_;
+  sim::Rng rng_;
 };
 
 }  // namespace tstorm::net

@@ -10,13 +10,81 @@
 
 namespace tstorm::runtime {
 
+namespace {
+
+double clamp_min(double v, double lo, const char* what) {
+  (void)what;
+  assert(v >= lo && "ClusterConfig: value out of range");
+  return std::max(v, lo);
+}
+
+int clamp_min_int(int v, int lo, const char* what) {
+  (void)what;
+  assert(v >= lo && "ClusterConfig: value out of range");
+  return std::max(v, lo);
+}
+
+}  // namespace
+
+ClusterConfig validated(ClusterConfig config) {
+  config.num_nodes = clamp_min_int(config.num_nodes, 1, "num_nodes");
+  config.slots_per_node =
+      clamp_min_int(config.slots_per_node, 1, "slots_per_node");
+  config.cores_per_node =
+      clamp_min_int(config.cores_per_node, 1, "cores_per_node");
+  config.per_core_mhz = clamp_min(config.per_core_mhz, 1.0, "per_core_mhz");
+  for (auto& spec : config.nodes) {
+    spec.slots = clamp_min_int(spec.slots, 1, "NodeSpec::slots");
+    spec.cores = clamp_min_int(spec.cores, 1, "NodeSpec::cores");
+    spec.per_core_mhz =
+        clamp_min(spec.per_core_mhz, 1.0, "NodeSpec::per_core_mhz");
+  }
+  config.network = net::validated(config.network);
+  config.worker_start_delay =
+      clamp_min(config.worker_start_delay, 0.0, "worker_start_delay");
+  config.supervisor_sync_period =
+      clamp_min(config.supervisor_sync_period, sim::PeriodicTask::kMinPeriod,
+                "supervisor_sync_period");
+  config.tuple_timeout = clamp_min(config.tuple_timeout,
+                                   sim::PeriodicTask::kMinPeriod,
+                                   "tuple_timeout");
+  config.max_replays = clamp_min_int(config.max_replays, 0, "max_replays");
+  config.replay_backoff_base =
+      clamp_min(config.replay_backoff_base, 0.0, "replay_backoff_base");
+  config.replay_backoff_max = clamp_min(
+      config.replay_backoff_max, config.replay_backoff_base,
+      "replay_backoff_max");
+  config.replay_backoff_jitter =
+      clamp_min(config.replay_backoff_jitter, 0.0, "replay_backoff_jitter");
+  config.late_ack_grace_factor =
+      clamp_min(config.late_ack_grace_factor, 0.0, "late_ack_grace_factor");
+  config.heartbeat_period =
+      clamp_min(config.heartbeat_period, sim::PeriodicTask::kMinPeriod,
+                "heartbeat_period");
+  config.node_timeout = clamp_min(config.node_timeout,
+                                  sim::PeriodicTask::kMinPeriod,
+                                  "node_timeout");
+  config.monitor_period =
+      clamp_min(config.monitor_period, sim::PeriodicTask::kMinPeriod,
+                "monitor_period");
+  config.shutdown_delay =
+      clamp_min(config.shutdown_delay, 0.0, "shutdown_delay");
+  config.spout_halt_delay =
+      clamp_min(config.spout_halt_delay, 0.0, "spout_halt_delay");
+  return config;
+}
+
 Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
     : sim_(sim),
-      config_(config),
-      rng_(config.seed),
-      network_(sim, config.network,
-               config.nodes.empty() ? config.num_nodes
-                                    : static_cast<int>(config.nodes.size())),
+      config_(validated(std::move(config))),
+      rng_(config_.seed),
+      network_(sim, config_.network,
+               config_.nodes.empty() ? config_.num_nodes
+                                     : static_cast<int>(config_.nodes.size()),
+               // Dedicated fault-model substream derived from the cluster
+               // seed: enabling network faults never perturbs the main RNG
+               // stream (edge ids, workloads).
+               config_.seed ^ 0x6e65742d6661756cULL),
       tracker_(*this, recorder_),
       nimbus_(*this),
       default_initial_(std::make_unique<sched::RoundRobinScheduler>()) {
@@ -47,6 +115,21 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
                          static_cast<double>(config_.num_nodes);
     supervisors_.back()->start(phase);
   }
+  // Self-healing loop: supervisors heartbeat unconditionally; the Nimbus
+  // monitor that acts on them is opt-in.
+  if (config_.failure_detection) nimbus_.start_failure_detector();
+}
+
+const char* to_string(DropCause cause) {
+  switch (cause) {
+    case DropCause::kDeadInstance:
+      return "dead-instance";
+    case DropCause::kNetworkLoss:
+      return "network-loss";
+    case DropCause::kShutdownDrain:
+      return "shutdown-drain";
+  }
+  return "?";
 }
 
 Cluster::~Cluster() = default;
@@ -172,15 +255,20 @@ sched::SchedulerInput Cluster::scheduler_input(
     const std::vector<sched::TopologyId>& topos) const {
   sched::SchedulerInput input;
   // Failed nodes contribute no slots (and zero capacity, defensively).
+  // Nodes the failure detector believes dead are withheld too — including
+  // false positives, whose healthy workers will be retired by their own
+  // supervisor once the reassignment publishes.
+  const auto usable = [this](sched::NodeId n) {
+    return nodes_[static_cast<std::size_t>(n)].available() &&
+           nimbus_.node_believed_alive(n);
+  };
   for (const auto& slot : all_slots()) {
-    if (nodes_[static_cast<std::size_t>(slot.node)].available()) {
-      input.slots.push_back(slot);
-    }
+    if (usable(slot.node)) input.slots.push_back(slot);
   }
   input.node_capacity_mhz.reserve(static_cast<std::size_t>(config_.num_nodes));
   for (const auto& node : nodes_) {
     input.node_capacity_mhz.push_back(
-        node.available() ? node.capacity_mhz() : 0.0);
+        usable(node.id()) ? node.capacity_mhz() : 0.0);
   }
 
   std::unordered_set<sched::TopologyId> included(topos.begin(), topos.end());
@@ -254,7 +342,7 @@ void Cluster::send(Executor& from, sched::TaskId dst, Envelope env) {
 
   Executor* target = resolve(dst, env.version);
   if (target == nullptr) {
-    note_drop();
+    note_drop(DropCause::kDeadInstance);
     return;
   }
   net::LinkType type;
@@ -286,17 +374,24 @@ void Cluster::send(Executor& from, sched::TaskId dst, Envelope env) {
   // must fit InlineFn's inline buffer for the send path to stay
   // allocation-free (the envelope itself is 56 bytes).
   const std::uint32_t handle = stash_envelope(std::move(env));
-  network_.send(src_node, dst_node, type, bytes,
-                [this, dst, version, handle] {
-                  Envelope e = take_envelope(handle);
-                  Executor* t = resolve(dst, version);
-                  if (t == nullptr) {
-                    note_drop();
-                    return;
-                  }
-                  t->deliver(std::move(e));
-                },
-                extra);
+  const bool delivered =
+      network_.send(src_node, dst_node, type, bytes,
+                    [this, dst, version, handle] {
+                      Envelope e = take_envelope(handle);
+                      Executor* t = resolve(dst, version);
+                      if (t == nullptr) {
+                        note_drop(DropCause::kDeadInstance);
+                        return;
+                      }
+                      t->deliver(std::move(e));
+                    },
+                    extra);
+  if (!delivered) {
+    // Lost on the wire: reclaim the parked envelope; a lost data tuple
+    // surfaces as a tracker timeout (and replay) at its spout.
+    take_envelope(handle);
+    note_drop(DropCause::kNetworkLoss);
+  }
 }
 
 std::uint32_t Cluster::stash_envelope(Envelope env) {
@@ -338,6 +433,14 @@ std::vector<Executor*> Cluster::executors_on_node(sched::NodeId node) const {
 std::vector<Executor*> Cluster::instances_of(sched::TaskId task) const {
   auto it = router_.find(task);
   return it == router_.end() ? std::vector<Executor*>{} : it->second;
+}
+
+std::vector<Executor*> Cluster::registered_executors() const {
+  std::vector<Executor*> out;
+  for (const auto& [task, instances] : router_) {
+    out.insert(out.end(), instances.begin(), instances.end());
+  }
+  return out;
 }
 
 int Cluster::nodes_in_use() const {
@@ -396,8 +499,16 @@ bool Cluster::node_available(sched::NodeId node) const {
   return nodes_.at(static_cast<std::size_t>(node)).available();
 }
 
-void Cluster::note_drop() {
-  ++dropped_;
+std::uint64_t Cluster::dropped_messages() const {
+  return dropped_by_cause_[0] + dropped_by_cause_[1] + dropped_by_cause_[2];
+}
+
+std::uint64_t Cluster::dropped_by(DropCause cause) const {
+  return dropped_by_cause_[static_cast<int>(cause)];
+}
+
+void Cluster::note_drop(DropCause cause) {
+  ++dropped_by_cause_[static_cast<int>(cause)];
   recorder_.record_drop(sim_.now());
 }
 

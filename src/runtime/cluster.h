@@ -29,6 +29,22 @@
 
 namespace tstorm::runtime {
 
+/// Why a message was lost. Tests and the chaos auditor assert on each
+/// cause independently — a soak with no partitions must see zero
+/// kNetworkLoss, a clean shutdown zero kShutdownDrain, and so on.
+enum class DropCause : std::uint8_t {
+  /// No live executor instance could receive the message (task's worker
+  /// dead or not yet started, at send or at delivery time).
+  kDeadInstance,
+  /// The network fault model lost the message in flight (random drop or
+  /// partition window).
+  kNetworkLoss,
+  /// The message was queued at an executor when its worker shut down.
+  kShutdownDrain,
+};
+
+const char* to_string(DropCause cause);
+
 /// Lifetime: the cluster schedules events (message deliveries, worker
 /// activations) into the simulation that reference cluster-owned state.
 /// Destroy the cluster only when you are done advancing the simulation —
@@ -128,7 +144,14 @@ class Cluster {
   [[nodiscard]] std::vector<Executor*> instances_of(sched::TaskId task) const;
   [[nodiscard]] int nodes_in_use() const;
   [[nodiscard]] int slots_in_use() const;
-  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+  /// Total lost messages across all causes.
+  [[nodiscard]] std::uint64_t dropped_messages() const;
+  /// Lost messages attributed to one cause.
+  [[nodiscard]] std::uint64_t dropped_by(DropCause cause) const;
+  /// Every executor instance currently registered with the router. The
+  /// chaos auditor cross-checks this against supervisor-owned workers to
+  /// catch dangling registrations.
+  [[nodiscard]] std::vector<Executor*> registered_executors() const;
 
   /// Pauses every live spout executor of the topology until `until`
   /// (T-Storm reassignment smoothing). New spout executors are paused via
@@ -146,9 +169,9 @@ class Cluster {
   bool recover_node(sched::NodeId node);
   [[nodiscard]] bool node_available(sched::NodeId node) const;
 
-  /// Records a lost message (internal bookkeeping; exposed for the
-  /// executor/worker shutdown paths).
-  void note_drop();
+  /// Records a lost message under its cause (internal bookkeeping; exposed
+  /// for the executor/worker shutdown paths).
+  void note_drop(DropCause cause);
 
  private:
   /// In-flight message slab. Envelopes awaiting network delivery are parked
@@ -189,7 +212,7 @@ class Cluster {
   /// reassignment co-existence).
   std::unordered_map<sched::TaskId, std::vector<Executor*>> router_;
 
-  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_by_cause_[3] = {0, 0, 0};
   std::unique_ptr<sched::ISchedulingAlgorithm> default_initial_;
 
   /// Slot storage for stash_envelope()/take_envelope(); free slots are a

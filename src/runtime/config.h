@@ -45,11 +45,45 @@ struct ClusterConfig {
   /// Maximum automatic replays of a failed root tuple (0 disables replay).
   int max_replays = 3;
 
+  /// --- Replay backoff. ---
+  /// A failed root is re-emitted after
+  ///   min(replay_backoff_base * 2^attempt, replay_backoff_max)
+  ///     * (1 + replay_backoff_jitter * U[0,1))
+  /// seconds instead of immediately, so a node failure does not produce a
+  /// synchronized replay storm into the recovering bolts. Set
+  /// replay_backoff_base = 0 for the old immediate-replay behaviour.
+  double replay_backoff_base = 1.0;
+  double replay_backoff_max = 60.0;
+  double replay_backoff_jitter = 0.1;
+
   /// A failed root's tracking entry is kept for late-ack recording for
   /// grace_factor * tuple_timeout after the failure (the paper's Fig. 3
   /// reports processing times far beyond the 30 s timeout, so late
   /// completions must stay observable), then dropped to bound memory.
   double late_ack_grace_factor = 6.0;
+
+  /// --- Self-healing control plane (heartbeats + failure detection). ---
+  /// When true, Nimbus runs a failure detector: supervisors publish
+  /// periodic heartbeats through the coordination store, nodes that miss
+  /// heartbeats for node_timeout are declared dead (trace
+  /// kNodeDeclaredDead), their topologies are rescheduled onto surviving
+  /// nodes automatically, and nodes whose heartbeats resume are declared
+  /// alive again. Off by default: the seed's benches deliberately contrast
+  /// "nobody reschedules" stock Storm against T-Storm's generator repair.
+  bool failure_detection = false;
+
+  /// Supervisor heartbeat publication period (Storm supervisors beat every
+  /// few seconds). Heartbeats are published whether or not the detector
+  /// runs, and traverse the network fault model's control path — lossy
+  /// links can cause (and heal) false-positive detections.
+  double heartbeat_period = 3.0;
+
+  /// Nimbus declares a node dead after this long without a heartbeat (the
+  /// nimbus.task.timeout.secs analog).
+  double node_timeout = 12.0;
+
+  /// Period of the Nimbus detector sweep.
+  double monitor_period = 4.0;
 
   /// Service-time inflation per crowding thread (see crowd model below):
   /// models context switching (paper Observation 1 mentions context
@@ -97,5 +131,13 @@ struct ClusterConfig {
   }
   [[nodiscard]] int total_slots() const { return num_nodes * slots_per_node; }
 };
+
+/// Sanity-checks a ClusterConfig: node/slot/core counts must be positive,
+/// delays and backoffs non-negative, periods and timeouts positive. Debug
+/// builds assert on violations; release builds clamp to the nearest valid
+/// value (same pattern as PeriodicTask::set_period and net::validated).
+/// Cluster's constructor applies this, so every running cluster has a
+/// well-formed config.
+[[nodiscard]] ClusterConfig validated(ClusterConfig config);
 
 }  // namespace tstorm::runtime

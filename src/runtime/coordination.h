@@ -1,11 +1,17 @@
 // CoordinationStore: the ZooKeeper stand-in. Nimbus publishes versioned
 // executor-to-slot assignments here; supervisors poll it on their sync
-// period, exactly like Storm's assignment znodes.
+// period, exactly like Storm's assignment znodes. Supervisors also publish
+// liveness heartbeats here (Storm's supervisor znodes with ephemeral
+// heartbeat data); Nimbus's failure detector reads them to declare nodes
+// dead or alive.
 #pragma once
 
 #include <map>
+#include <optional>
+#include <unordered_map>
 
 #include "sched/types.h"
+#include "sim/simulation.h"
 
 namespace tstorm::runtime {
 
@@ -33,8 +39,27 @@ class CoordinationStore {
 
   void remove(sched::TopologyId topo) { assignments_.erase(topo); }
 
+  /// --- Supervisor heartbeats. ---
+  /// Records that `node`'s supervisor was alive at time `t` (monotone:
+  /// stale writes are ignored, though the single-threaded simulation never
+  /// produces them).
+  void heartbeat(sched::NodeId node, sim::Time t) {
+    auto [it, inserted] = heartbeats_.try_emplace(node, t);
+    if (!inserted && t > it->second) it->second = t;
+  }
+
+  /// Time of the node's last recorded heartbeat; nullopt if none ever
+  /// arrived (node never came up, or every beat was lost on the wire).
+  [[nodiscard]] std::optional<sim::Time> last_heartbeat(
+      sched::NodeId node) const {
+    auto it = heartbeats_.find(node);
+    if (it == heartbeats_.end()) return std::nullopt;
+    return it->second;
+  }
+
  private:
   std::map<sched::TopologyId, AssignmentRecord> assignments_;
+  std::unordered_map<sched::NodeId, sim::Time> heartbeats_;
 };
 
 }  // namespace tstorm::runtime

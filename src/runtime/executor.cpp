@@ -42,7 +42,9 @@ void Executor::shutdown() {
   // Queued envelopes are lost with the worker process; data tuples will
   // surface as timeouts at their spouts.
   for (const auto& env : queue_) {
-    if (env.kind == MsgKind::kData) cluster_.note_drop();
+    if (env.kind == MsgKind::kData) {
+      cluster_.note_drop(DropCause::kShutdownDrain);
+    }
   }
   queue_.clear();
   running_ = false;
@@ -52,7 +54,9 @@ void Executor::shutdown() {
 
 void Executor::deliver(Envelope env) {
   if (!running_) {
-    if (env.kind == MsgKind::kData) cluster_.note_drop();
+    if (env.kind == MsgKind::kData) {
+      cluster_.note_drop(DropCause::kDeadInstance);
+    }
     return;
   }
   queue_.push_back(std::move(env));

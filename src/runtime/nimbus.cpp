@@ -142,4 +142,88 @@ const AssignmentRecord* Nimbus::assignment(sched::TopologyId topo) const {
   return cluster_.coordination().get(topo);
 }
 
+// ------------------------------------------------------- Failure detection
+
+void Nimbus::start_failure_detector() {
+  const auto nodes = static_cast<std::size_t>(cluster_.num_nodes());
+  if (believed_alive_.size() != nodes) believed_alive_.assign(nodes, 1);
+  if (monitor_task_ == nullptr) {
+    monitor_task_ = std::make_unique<sim::PeriodicTask>(
+        cluster_.sim(), cluster_.config().monitor_period,
+        [this] { check_heartbeats(); });
+  }
+  if (!monitor_task_->running()) {
+    monitor_task_->start(cluster_.config().monitor_period);
+  }
+}
+
+bool Nimbus::node_believed_alive(sched::NodeId node) const {
+  const auto i = static_cast<std::size_t>(node);
+  // All-alive until the detector has been started: with no heartbeat
+  // monitoring, Nimbus has no evidence against any node.
+  if (i >= believed_alive_.size()) return true;
+  return believed_alive_[i] != 0;
+}
+
+std::vector<sched::NodeId> Nimbus::nodes_believed_dead() const {
+  std::vector<sched::NodeId> out;
+  for (std::size_t i = 0; i < believed_alive_.size(); ++i) {
+    if (believed_alive_[i] == 0) out.push_back(static_cast<sched::NodeId>(i));
+  }
+  return out;
+}
+
+void Nimbus::set_recovery_algorithm(sched::ISchedulingAlgorithm* algorithm) {
+  recovery_ = algorithm;
+}
+
+void Nimbus::check_heartbeats() {
+  const ClusterConfig& cfg = cluster_.config();
+  const auto nodes = static_cast<std::size_t>(cluster_.num_nodes());
+  if (believed_alive_.size() != nodes) believed_alive_.assign(nodes, 1);
+  const sim::Time now = cluster_.sim().now();
+
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto node = static_cast<sched::NodeId>(i);
+    // A node that never heartbeated is treated as "last beat at t=0": it
+    // gets one full timeout of startup grace, then counts as dead.
+    const sim::Time last =
+        cluster_.coordination().last_heartbeat(node).value_or(0.0);
+    const bool fresh = now - last <= cfg.node_timeout;
+    if (believed_alive_[i] != 0 && !fresh) {
+      believed_alive_[i] = 0;
+      cluster_.trace_log().record(
+          {now, trace::EventKind::kNodeDeclaredDead, -1, node, -1, 0,
+           "last heartbeat t=" + std::to_string(last)});
+    } else if (believed_alive_[i] == 0 && fresh) {
+      believed_alive_[i] = 1;
+      cluster_.trace_log().record(
+          {now, trace::EventKind::kNodeDeclaredAlive, -1, node, -1, 0, {}});
+    }
+  }
+  reschedule_stranded_topologies();
+}
+
+void Nimbus::reschedule_stranded_topologies() {
+  // Topologies whose current placement touches a believed-dead node. The
+  // rebalance below publishes into the coordination map, so collect ids
+  // first instead of mutating while iterating.
+  std::vector<sched::TopologyId> stranded;
+  for (const auto& [topo, record] : cluster_.coordination().all()) {
+    for (const auto& [task, slot] : record.placement) {
+      if (!node_believed_alive(cluster_.slot_node(slot))) {
+        stranded.push_back(topo);
+        break;
+      }
+    }
+  }
+  for (sched::TopologyId topo : stranded) {
+    sched::ISchedulingAlgorithm& algo =
+        recovery_ != nullptr ? *recovery_ : default_recovery_;
+    // May fail when the surviving slots cannot host the topology; the next
+    // sweep retries, so capacity returning (node declared alive) heals it.
+    rebalance(topo, algo);
+  }
+}
+
 }  // namespace tstorm::runtime

@@ -1,14 +1,19 @@
 // Nimbus: the master daemon. Owns topology submission (initial assignment
 // via a pluggable algorithm), accepts assignments pushed by T-Storm's
-// custom scheduler, and publishes everything to the coordination store for
-// supervisors to pick up.
+// custom scheduler, publishes everything to the coordination store for
+// supervisors to pick up, and — when failure detection is enabled — runs
+// the heartbeat monitor that declares nodes dead/alive and reschedules
+// around dead machines (Storm's nimbus.task.timeout.secs reassignment).
 #pragma once
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "runtime/coordination.h"
+#include "sched/round_robin.h"
 #include "sched/scheduler.h"
+#include "sim/simulation.h"
 
 namespace tstorm::runtime {
 
@@ -56,9 +61,49 @@ class Nimbus {
   /// (milliseconds), the "timestamp of an assignment [used] as its ID".
   sched::AssignmentVersion next_version();
 
+  /// --- Failure detection (the self-healing loop). ---
+
+  /// Starts the periodic heartbeat monitor. Called by Cluster's
+  /// constructor when config.failure_detection is set; idempotent.
+  void start_failure_detector();
+
+  [[nodiscard]] bool failure_detector_running() const {
+    return monitor_task_ != nullptr && monitor_task_->running();
+  }
+
+  /// Nimbus's liveness view of a node. Always true while the detector is
+  /// off (Nimbus has no evidence against any node). The view is belief,
+  /// not ground truth: lost heartbeats can make a healthy node "dead"
+  /// until its beats resume.
+  [[nodiscard]] bool node_believed_alive(sched::NodeId node) const;
+
+  /// Nodes currently believed dead (sorted). Empty while the detector is
+  /// off.
+  [[nodiscard]] std::vector<sched::NodeId> nodes_believed_dead() const;
+
+  /// Algorithm used to recompute placements for topologies stranded on a
+  /// dead node. Defaults to round-robin over the surviving slots. The
+  /// pointee must outlive the cluster; pass nullptr to restore the default.
+  void set_recovery_algorithm(sched::ISchedulingAlgorithm* algorithm);
+
+  /// One detector sweep: reads heartbeats, flips node beliefs (tracing
+  /// kNodeDeclaredDead / kNodeDeclaredAlive), and reschedules every
+  /// topology whose placement touches a believed-dead node. Runs
+  /// periodically once start_failure_detector() is called; exposed so
+  /// tests can force a sweep.
+  void check_heartbeats();
+
  private:
+  void reschedule_stranded_topologies();
+
   Cluster& cluster_;
   sched::AssignmentVersion last_version_ = 0;
+
+  /// believed_alive_[n] — detector belief, all-true at startup.
+  std::vector<char> believed_alive_;
+  std::unique_ptr<sim::PeriodicTask> monitor_task_;
+  sched::RoundRobinScheduler default_recovery_;
+  sched::ISchedulingAlgorithm* recovery_ = nullptr;
 };
 
 }  // namespace tstorm::runtime

@@ -12,9 +12,27 @@ Supervisor::Supervisor(Cluster& cluster, sched::NodeId node)
   sync_task_ = std::make_unique<sim::PeriodicTask>(
       cluster_.sim(), cluster_.config().supervisor_sync_period,
       [this] { sync(); });
+  heartbeat_task_ = std::make_unique<sim::PeriodicTask>(
+      cluster_.sim(), cluster_.config().heartbeat_period,
+      [this] { publish_heartbeat(); });
 }
 
-void Supervisor::start(sim::Time phase) { sync_task_->start(phase); }
+void Supervisor::start(sim::Time phase) {
+  sync_task_->start(phase);
+  // First heartbeat right at the sync phase: the node announces itself as
+  // soon as its daemon is up, then beats every heartbeat period.
+  heartbeat_task_->start(
+      std::min<sim::Time>(phase, cluster_.config().heartbeat_period));
+}
+
+void Supervisor::publish_heartbeat() {
+  if (!active_) return;
+  // Heartbeats ride the control plane: a partition from the master or
+  // control-message loss silently eats them, which is exactly how a healthy
+  // node gets falsely declared dead.
+  if (cluster_.network().control_lost(node_)) return;
+  cluster_.coordination().heartbeat(node_, cluster_.sim().now());
+}
 
 Worker* Supervisor::worker_at(int port) {
   auto it = workers_.find(port);
@@ -50,8 +68,10 @@ void Supervisor::set_active(bool active) {
     for (auto& worker : draining_) worker->stop();
     draining_.clear();
     sync_task_->stop();
+    heartbeat_task_->stop();
   } else {
     sync_task_->start(cluster_.config().supervisor_sync_period);
+    heartbeat_task_->start(cluster_.config().heartbeat_period);
   }
 }
 

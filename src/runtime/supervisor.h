@@ -1,6 +1,9 @@
 // Supervisor: the per-node daemon. Polls the coordination store every
-// sync period (10 s, Table II), starts/stops/restarts workers to match the
-// published assignment, and implements both reassignment styles:
+// sync period (10 s, Table II), publishes liveness heartbeats to it every
+// heartbeat period (feeding Nimbus's failure detector; heartbeats traverse
+// the network fault model's control path, so lossy links starve the
+// detector), starts/stops/restarts workers to match the published
+// assignment, and implements both reassignment styles:
 //   Storm:   kill affected workers immediately; replacements start after
 //            the JVM spawn delay; in-flight tuples are lost.
 //   T-Storm: start replacements first, drain old workers for
@@ -24,12 +27,16 @@ class Supervisor {
  public:
   Supervisor(Cluster& cluster, sched::NodeId node);
 
-  /// Starts the periodic sync loop; `phase` staggers supervisors so they
-  /// do not all sync at the same instant.
+  /// Starts the periodic sync and heartbeat loops; `phase` staggers
+  /// supervisors so they do not all sync at the same instant.
   void start(sim::Time phase);
 
   /// Forces an immediate reconciliation (tests).
   void sync();
+
+  /// Publishes one liveness heartbeat into the coordination store, unless
+  /// the machine is down or the network fault model loses the message.
+  void publish_heartbeat();
 
   [[nodiscard]] sched::NodeId node() const { return node_; }
 
@@ -57,6 +64,7 @@ class Supervisor {
   std::map<int, std::unique_ptr<Worker>> workers_;  // port -> current worker
   std::vector<std::unique_ptr<Worker>> draining_;
   std::unique_ptr<sim::PeriodicTask> sync_task_;
+  std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
   bool active_ = true;
 };
 

@@ -1,6 +1,9 @@
 #include "runtime/tracker.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "runtime/cluster.h"
 
@@ -8,7 +11,11 @@ namespace tstorm::runtime {
 
 TupleTracker::TupleTracker(Cluster& cluster,
                            metrics::CompletionRecorder& recorder)
-    : cluster_(cluster), recorder_(recorder) {}
+    : cluster_(cluster),
+      recorder_(recorder),
+      // Dedicated substream: backoff jitter draws must not perturb the
+      // cluster's main RNG (which feeds workload generators).
+      rng_(cluster.config().seed ^ 0x7265706c61796aULL) {}
 
 void TupleTracker::register_root(std::uint64_t root_id,
                                  sched::TaskId spout_task,
@@ -25,6 +32,7 @@ void TupleTracker::register_root(std::uint64_t root_id,
   entries_[root_id] = std::move(e);
   ++pending_[spout_task];
   ++in_flight_;
+  ++total_registered_;
 }
 
 void TupleTracker::on_ack_complete(std::uint64_t root_id) {
@@ -46,6 +54,35 @@ void TupleTracker::on_ack_complete(std::uint64_t root_id) {
   entries_.erase(it);
 }
 
+double TupleTracker::backoff_delay(int attempt) const {
+  const ClusterConfig& cfg = cluster_.config();
+  if (cfg.replay_backoff_base <= 0.0) return 0.0;
+  // min(base * 2^attempt, max), with attempt counted from 1 (first replay
+  // waits one base period).
+  const int exponent = std::max(0, attempt - 1);
+  double delay = cfg.replay_backoff_base * std::ldexp(1.0, exponent);
+  delay = std::min(delay, cfg.replay_backoff_max);
+  if (cfg.replay_backoff_jitter > 0.0) {
+    delay *= 1.0 + cfg.replay_backoff_jitter * rng_.uniform();
+  }
+  return delay;
+}
+
+void TupleTracker::dispatch_replay(sched::TaskId spout_task,
+                                   std::shared_ptr<const topo::Tuple> tuple,
+                                   int attempt) {
+  recorder_.record_replay(cluster_.sim().now());
+  Envelope replay;
+  replay.kind = MsgKind::kReplay;
+  replay.tuple = std::move(tuple);
+  replay.attempt = attempt;
+  if (!cluster_.deliver_control(spout_task, std::move(replay))) {
+    // No live spout instance at dispatch time (topology killed, or node
+    // dead with no reassignment published yet): the root fails terminally.
+    ++replays_dropped_;
+  }
+}
+
 void TupleTracker::on_timeout(std::uint64_t root_id) {
   auto it = entries_.find(root_id);
   if (it == entries_.end()) return;
@@ -65,12 +102,20 @@ void TupleTracker::on_timeout(std::uint64_t root_id) {
 
   const int max_replays = cluster_.config().max_replays;
   if (max_replays > 0 && e.attempt + 1 <= max_replays && e.tuple) {
-    recorder_.record_replay(cluster_.sim().now());
-    Envelope replay;
-    replay.kind = MsgKind::kReplay;
-    replay.tuple = e.tuple;
-    replay.attempt = e.attempt + 1;
-    cluster_.deliver_control(e.spout_task, std::move(replay));
+    const double delay = backoff_delay(e.attempt + 1);
+    if (delay <= 0.0) {
+      dispatch_replay(e.spout_task, e.tuple, e.attempt + 1);
+    } else {
+      // Captures {this, shared_ptr, task, attempt} = 32 bytes: inside
+      // InlineFn's inline buffer, no heap allocation per replay.
+      const sched::TaskId spout_task = e.spout_task;
+      const int attempt = e.attempt + 1;
+      std::shared_ptr<const topo::Tuple> tuple = e.tuple;
+      cluster_.sim().schedule_after(
+          delay, [this, tuple = std::move(tuple), spout_task, attempt] {
+            dispatch_replay(spout_task, tuple, attempt);
+          });
+    }
   }
   // Keep the entry (minus the retained tuple) so a late ack can still be
   // recorded as a late completion — but only for a bounded grace period,

@@ -2,7 +2,8 @@
 // guaranteed-message-processing contract around the acker protocol:
 // registers each spout emission, arms the 30 s timeout, records
 // completions/failures into the CompletionRecorder, and requests replays of
-// failed tuples (bounded attempts).
+// failed tuples (bounded attempts, exponential backoff with seeded jitter
+// so correlated failures do not produce synchronized replay storms).
 #pragma once
 
 #include <cstdint>
@@ -11,6 +12,7 @@
 
 #include "metrics/completion.h"
 #include "sched/types.h"
+#include "sim/rng.h"
 #include "sim/simulation.h"
 #include "topo/tuple.h"
 
@@ -38,10 +40,36 @@ class TupleTracker {
   /// All live (unacked, not-yet-failed) roots.
   [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
 
+  /// --- Conservation accounting (chaos auditor). ---
+  /// Total register_root() calls (every attempt counts). At any instant
+  ///   total_registered == on-time completions + failures + in_flight
+  /// must hold; the auditor checks it.
+  [[nodiscard]] std::uint64_t total_registered() const {
+    return total_registered_;
+  }
+  /// Replays the tracker decided to schedule (recorded at re-dispatch).
+  /// replays_dropped counts replay requests whose spout had no live
+  /// instance at dispatch time — the root is terminally failed.
+  [[nodiscard]] std::uint64_t replays_dropped() const {
+    return replays_dropped_;
+  }
+  /// Tracking entries currently held (live + failed-awaiting-late-ack).
+  /// After a quiesce window of (1 + late_ack_grace_factor) * tuple_timeout
+  /// with spouts silent this must reach zero — a nonzero value is a leak.
+  [[nodiscard]] std::size_t tracked_entries() const {
+    return entries_.size();
+  }
+
+  /// Backoff delay before replaying attempt `attempt` (exposed for tests;
+  /// deterministic given the tracker's RNG state).
+  [[nodiscard]] double backoff_delay(int attempt) const;
+
   [[nodiscard]] metrics::CompletionRecorder& recorder() { return recorder_; }
 
  private:
   void on_timeout(std::uint64_t root_id);
+  void dispatch_replay(sched::TaskId spout_task,
+                       std::shared_ptr<const topo::Tuple> tuple, int attempt);
 
   struct Entry {
     sched::TaskId spout_task = -1;
@@ -57,6 +85,11 @@ class TupleTracker {
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::unordered_map<sched::TaskId, int> pending_;
   std::size_t in_flight_ = 0;
+  std::uint64_t total_registered_ = 0;
+  std::uint64_t replays_dropped_ = 0;
+  /// Private substream for backoff jitter: replay scheduling never
+  /// perturbs the cluster's main RNG stream.
+  mutable sim::Rng rng_;
 };
 
 }  // namespace tstorm::runtime

@@ -30,6 +30,12 @@ const char* to_string(EventKind kind) {
       return "node-recovered";
     case EventKind::kTopologyKilled:
       return "topology-killed";
+    case EventKind::kNodeDeclaredDead:
+      return "node-declared-dead";
+    case EventKind::kNodeDeclaredAlive:
+      return "node-declared-alive";
+    case EventKind::kChaosFault:
+      return "chaos-fault";
   }
   return "?";
 }

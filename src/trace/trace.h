@@ -30,6 +30,12 @@ enum class EventKind : std::uint8_t {
   kNodeFailed,
   kNodeRecovered,
   kTopologyKilled,
+  /// Nimbus's failure detector view (may disagree with ground truth when
+  /// heartbeats are lost in flight — false positives).
+  kNodeDeclaredDead,
+  kNodeDeclaredAlive,
+  /// A chaos-harness fault injection (detail describes the fault).
+  kChaosFault,
 };
 
 const char* to_string(EventKind kind);

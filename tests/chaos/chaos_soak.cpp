@@ -1,0 +1,112 @@
+// Chaos soak: a multi-seed sweep of randomized fault schedules against the
+// word-count topology with failure detection enabled. Every seed must end
+// with the invariant auditor clean — tuple conservation, no dangling
+// executor registrations, exact drop attribution, a drained tracker, and a
+// bounded pending-event population after quiesce.
+//
+// Kept deliberately small per seed (6 nodes, reduced parallelism, shortened
+// timeouts) so the whole sweep stays within interactive ctest budgets; the
+// point is breadth of fault interleavings, not per-run scale.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/auditor.h"
+#include "chaos/fault_plan.h"
+#include "core/system.h"
+#include "runtime/cluster.h"
+#include "workload/external_queue.h"
+#include "workload/topologies.h"
+
+namespace tstorm::chaos {
+namespace {
+
+constexpr std::uint64_t kSeeds = 20;
+
+struct SoakOutcome {
+  AuditReport report;
+  std::uint64_t completed = 0;
+  std::uint64_t chaos_events = 0;
+};
+
+SoakOutcome soak_one(std::uint64_t seed) {
+  sim::Simulation sim;
+  runtime::ClusterConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.failure_detection = true;
+  cfg.seed = seed;
+  // Shortened timeouts: more detection/replay/grace cycles per simulated
+  // second, so each seed exercises the full loop quickly.
+  cfg.tuple_timeout = 10.0;
+  cfg.late_ack_grace_factor = 2.0;
+  cfg.replay_backoff_base = 0.5;
+  cfg.replay_backoff_max = 8.0;
+  cfg.node_timeout = 9.0;
+  cfg.heartbeat_period = 2.0;
+  cfg.monitor_period = 3.0;
+  core::StormSystem sys(sim, cfg);
+  auto& cluster = sys.cluster();
+
+  workload::WordCountOptions wc_opt;
+  wc_opt.spouts = 1;
+  wc_opt.splitters = 2;
+  wc_opt.counters = 2;
+  wc_opt.mongos = 2;
+  wc_opt.ackers = 2;
+  wc_opt.workers = 6;
+  auto wc = workload::make_word_count(wc_opt);
+  workload::QueueProducer producer(sim, *wc.queue, 80.0);
+  producer.start();
+  const auto id = sys.submit(std::move(wc.topology));
+
+  RandomPlanOptions opt;
+  opt.start = 30.0;
+  opt.end = 240.0;
+  opt.crashes = 2;
+  opt.min_downtime = 15.0;
+  opt.max_downtime = 40.0;
+  opt.worker_kills = 3;
+  opt.partitions = 2;
+  opt.loss_spikes = 2;
+  opt.max_drop_prob = 0.08;
+  FaultPlan::random(opt, seed, cfg.num_nodes, cfg.slots_per_node)
+      .inject(cluster);
+
+  sim.run_until(260.0);
+  InvariantAuditor auditor(cluster);
+  SoakOutcome out;
+  // Mid-flight audit with faults settled but traffic still flowing.
+  out.report = auditor.check_now();
+
+  // Quiesce: stop the source, kill the topology, and let the tracker's
+  // late-ack grace window fully elapse; then the strict audit must hold.
+  producer.stop();
+  cluster.kill_topology(id);
+  sim.run_until(sim.now() +
+                (1.0 + cfg.late_ack_grace_factor) * cfg.tuple_timeout +
+                2.0 * cfg.supervisor_sync_period + 5.0);
+  const AuditReport quiesced = auditor.check_quiesced();
+  out.report.violations.insert(out.report.violations.end(),
+                               quiesced.violations.begin(),
+                               quiesced.violations.end());
+  out.completed = cluster.completion().total_completed();
+  out.chaos_events =
+      cluster.trace_log().count(trace::EventKind::kChaosFault);
+  return out;
+}
+
+TEST(ChaosSoak, TwentySeedSweepPassesAuditor) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const SoakOutcome out = soak_one(seed);
+    EXPECT_TRUE(out.report.ok())
+        << "seed " << seed << " violated invariants:\n"
+        << out.report.to_string();
+    EXPECT_GT(out.completed, 0u) << "seed " << seed << " completed nothing";
+    EXPECT_GT(out.chaos_events, 0u)
+        << "seed " << seed << " injected no faults";
+  }
+}
+
+}  // namespace
+}  // namespace tstorm::chaos
