@@ -1,0 +1,209 @@
+// Flow-control benchmark: the same overloaded chain (offered load ~2x the
+// bottleneck bolt's service capacity) run twice — flow control off, then on
+// — and the contrast that motivates the subsystem:
+//
+//   flow off — the bolt's queue grows without bound for the whole run and
+//              completion p99 grows with it (every admitted tuple waits
+//              behind the entire backlog).
+//   flow on  — the queue stays inside the configured capacity, backpressure
+//              paces the spouts to the bolt's service rate, and p99 is
+//              bounded by capacity x service time.
+//
+// Emits BENCH_flow.json (sustained throughput over the second half of the
+// run, p50/p99 latency, periodic queue-depth samples, shed/backpressure
+// counters) so the robustness trajectory is tracked across PRs alongside
+// BENCH_core.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "metrics/histogram.h"
+#include "runtime/cluster.h"
+#include "sim/simulation.h"
+#include "workload/topologies.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace rt = tstorm::runtime;
+
+struct Variant {
+  std::string name;
+  std::uint64_t completed = 0;
+  double sustained_tps = 0;  // completions/s over the second half
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::vector<std::pair<double, std::size_t>> depth_samples;  // (t, depth)
+  std::size_t depth_max = 0;
+  std::size_t depth_final = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t throttle_activations = 0;
+  double wall_s = 0;
+};
+
+std::size_t max_data_depth(rt::Cluster& cluster) {
+  std::size_t deepest = 0;
+  for (rt::Executor* e : cluster.registered_executors()) {
+    deepest = std::max(deepest, e->data_queue_depth());
+  }
+  return deepest;
+}
+
+// 2 spouts at 100 tuples/s each against one 10 ms bolt (~100/s service at
+// 2 GHz): offered load 2x capacity, sustained for the whole run.
+tstorm::workload::ChainOptions overload_at_2x() {
+  tstorm::workload::ChainOptions opt;
+  opt.spout_parallelism = 2;
+  opt.emit_interval = 0.01;
+  opt.bolts = 1;
+  opt.bolt_parallelism = 1;
+  opt.ackers = 2;
+  opt.workers = 2;  // spout->bolt hops cross the network
+  opt.bolt_cost_mc = 20.0;
+  // The spouts' pending window must not be what bounds the backlog — that
+  // is the flow controller's job (or, flow off, nobody's).
+  opt.max_pending = 1 << 20;
+  return opt;
+}
+
+Variant run_variant(bool flow_on, double duration) {
+  tstorm::sim::Simulation sim;
+  rt::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  // Long timeout: the flow-off run's point is unbounded queue growth, not
+  // timeout churn on the backlog.
+  cfg.tuple_timeout = 4.0 * duration;
+  cfg.flow.enabled = flow_on;
+  cfg.flow.queue_capacity = 128;
+  tstorm::core::StormSystem sys(sim, cfg);
+  sys.submit(tstorm::workload::make_chain(overload_at_2x()));
+  auto& cluster = sys.cluster();
+
+  Variant v;
+  v.name = flow_on ? "flow_on" : "flow_off";
+  const auto t0 = Clock::now();
+  std::uint64_t completed_at_half = 0;
+  const int samples = 12;
+  for (int i = 1; i <= samples; ++i) {
+    const double t = duration * i / samples;
+    sim.run_until(t);
+    const std::size_t depth = max_data_depth(cluster);
+    v.depth_samples.emplace_back(t, depth);
+    v.depth_max = std::max(v.depth_max, depth);
+    if (i == samples / 2) {
+      completed_at_half = cluster.completion().total_completed();
+    }
+  }
+  v.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  v.completed = cluster.completion().total_completed();
+  v.sustained_tps = static_cast<double>(v.completed - completed_at_half) /
+                    (duration / 2.0);
+  v.p50_ms = cluster.completion().latency_histogram().percentile(50.0);
+  v.p99_ms = cluster.completion().latency_histogram().percentile(99.0);
+  v.depth_final = v.depth_samples.back().second;
+  v.shed = cluster.dropped_by(rt::DropCause::kLoadShed);
+  v.throttle_activations = cluster.flow().throttle_activations();
+  return v;
+}
+
+void write_json(const std::string& path, const std::string& label,
+                const std::vector<Variant>& variants, int capacity) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"flow_bench\",\n";
+  out << "  \"label\": \"" << label << "\",\n";
+  const std::time_t now = std::time(nullptr);
+  char stamp[64];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&now));
+  out << "  \"timestamp\": \"" << stamp << "\",\n";
+  out << "  \"queue_capacity\": " << capacity << ",\n";
+  out << "  \"results\": {\n";
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    out << "    \"" << v.name << "\": {\"completed\": " << v.completed
+        << ", \"sustained_tps\": " << v.sustained_tps
+        << ", \"p50_ms\": " << v.p50_ms << ", \"p99_ms\": " << v.p99_ms
+        << ", \"queue_depth_max\": " << v.depth_max
+        << ", \"queue_depth_final\": " << v.depth_final
+        << ", \"shed\": " << v.shed
+        << ", \"throttle_activations\": " << v.throttle_activations
+        << ", \"wall_s\": " << v.wall_s << ", \"queue_depth_samples\": [";
+    for (std::size_t s = 0; s < v.depth_samples.size(); ++s) {
+      out << (s != 0 ? ", " : "") << "[" << v.depth_samples[s].first << ", "
+          << v.depth_samples[s].second << "]";
+    }
+    out << "]}" << (i + 1 < variants.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_flow.json";
+  std::string label = "current";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: flow_bench [--out FILE] [--label NAME] "
+                   "[--quick]\n";
+      return 2;
+    }
+  }
+
+  const double duration = quick ? 60.0 : 300.0;
+  std::vector<Variant> variants;
+  variants.push_back(run_variant(/*flow_on=*/false, duration));
+  variants.push_back(run_variant(/*flow_on=*/true, duration));
+
+  std::cout << "flow_bench (" << (quick ? "quick" : "full")
+            << ", label=" << label << ", 2x overload for " << duration
+            << " sim-s)\n";
+  for (const Variant& v : variants) {
+    std::printf(
+        "  %-9s %8llu completed  %7.1f tps sustained  p50 %9.1f ms  "
+        "p99 %9.1f ms  queue max/final %6zu/%6zu  shed %llu  bp %llu\n",
+        v.name.c_str(), static_cast<unsigned long long>(v.completed),
+        v.sustained_tps, v.p50_ms, v.p99_ms, v.depth_max, v.depth_final,
+        static_cast<unsigned long long>(v.shed),
+        static_cast<unsigned long long>(v.throttle_activations));
+  }
+
+  write_json(out_path, label, variants, 128);
+  std::cout << "wrote " << out_path << "\n";
+
+  // Self-check: the contrast the bench exists to demonstrate. Flow off
+  // must show monotone queue growth far past the bound; flow on must stay
+  // within capacity and shed/throttle at least once.
+  const Variant& off = variants[0];
+  const Variant& on = variants[1];
+  const bool off_grows =
+      off.depth_final > 128 &&
+      off.depth_final + 16 > off.depth_max;  // still near its maximum at end
+  const bool on_bounded = on.depth_max <= 128 && on.throttle_activations > 0;
+  if (!off_grows || !on_bounded) {
+    std::cerr << "FAIL: expected unbounded growth with flow off "
+                 "(final/max "
+              << off.depth_final << "/" << off.depth_max
+              << ") and a bounded queue with flow on (max "
+              << on.depth_max << ", activations "
+              << on.throttle_activations << ")\n";
+    return 1;
+  }
+  return 0;
+}

@@ -14,12 +14,20 @@ out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build" -j "$(nproc)" --target core_event_bench >/dev/null
+cmake --build "$build" -j "$(nproc)" \
+  --target core_event_bench --target flow_bench >/dev/null
 
 "$build/bench/core_event_bench" \
   --quick --assert-zero-alloc --label "$label" --out "$out"
 
 # One JSON object per line, append-only history.
+tr -d '\n' < "$out" >> "$repo/BENCH_history.jsonl"
+echo >> "$repo/BENCH_history.jsonl"
+
+# Flow-control figures: same overloaded chain with and without flow
+# control; the binary exits nonzero unless flow-off grows without bound
+# and flow-on stays within capacity.
+"$build/bench/flow_bench" --quick --label "$label" --out "$out"
 tr -d '\n' < "$out" >> "$repo/BENCH_history.jsonl"
 echo >> "$repo/BENCH_history.jsonl"
 echo "appended '$label' to BENCH_history.jsonl"

@@ -100,6 +100,19 @@ void InvariantAuditor::check_drop_attribution(AuditReport& report) const {
                         " data messages but kNetworkLoss counts " +
                         std::to_string(attributed));
   }
+  // Same double-entry check for load shedding: every tuple the flow
+  // controller counted as shed must appear under kLoadShed, and vice
+  // versa — a shed without attribution would silently break tuple
+  // conservation downstream.
+  const std::uint64_t shed_counted = cluster_.flow().shed_total();
+  const std::uint64_t shed_attributed =
+      cluster_.dropped_by(runtime::DropCause::kLoadShed);
+  if (shed_counted != shed_attributed) {
+    violate(report, "shed attribution mismatch: flow controller shed " +
+                        std::to_string(shed_counted) +
+                        " tuples but kLoadShed counts " +
+                        std::to_string(shed_attributed));
+  }
 }
 
 void InvariantAuditor::check_tracker_shape(AuditReport& report) const {

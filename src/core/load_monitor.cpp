@@ -21,8 +21,10 @@ void LoadMonitor::sample() {
     // Mega-cycles consumed over the window / window seconds == MHz.
     const double mhz = ex->take_mega_cycles() / period_;
     node_mhz += mhz;
-    max_queue = std::max(max_queue, static_cast<double>(ex->queue_depth()));
+    const auto depth = static_cast<double>(ex->queue_depth());
+    max_queue = std::max(max_queue, depth);
     db_.update_executor_load(ex->task(), mhz);
+    db_.update_executor_queue(ex->task(), depth);
     for (const auto& [dst, count] : ex->take_sent()) {
       db_.update_traffic(ex->task(), dst,
                          static_cast<double>(count) / period_);

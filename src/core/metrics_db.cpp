@@ -14,7 +14,7 @@ IEstimator& MetricsDb::estimator(
 
 void MetricsDb::set_alpha(double alpha) {
   factory_ = make_ewma_factory(alpha);
-  for (auto* map : {&loads_, &node_loads_, &traffic_}) {
+  for (auto* map : {&loads_, &queues_, &node_loads_, &traffic_}) {
     for (auto& [key, est] : *map) {
       if (auto* ewma = dynamic_cast<EwmaEstimator*>(est.get());
           ewma != nullptr) {
@@ -26,6 +26,11 @@ void MetricsDb::set_alpha(double alpha) {
 
 void MetricsDb::update_executor_load(sched::TaskId task, double mhz_sample) {
   estimator(loads_, static_cast<std::uint32_t>(task)).update(mhz_sample);
+}
+
+void MetricsDb::update_executor_queue(sched::TaskId task,
+                                      double depth_sample) {
+  estimator(queues_, static_cast<std::uint32_t>(task)).update(depth_sample);
 }
 
 void MetricsDb::update_traffic(sched::TaskId src, sched::TaskId dst,
@@ -41,6 +46,11 @@ void MetricsDb::update_node_load(sched::NodeId node, double mhz_sample) {
 double MetricsDb::executor_load(sched::TaskId task) const {
   auto it = loads_.find(static_cast<std::uint32_t>(task));
   return it == loads_.end() ? 0.0 : it->second->value();
+}
+
+double MetricsDb::executor_queue(sched::TaskId task) const {
+  auto it = queues_.find(static_cast<std::uint32_t>(task));
+  return it == queues_.end() ? 0.0 : it->second->value();
 }
 
 void MetricsDb::update_node_queue(sched::NodeId node, double depth_sample) {
@@ -73,6 +83,7 @@ std::vector<sched::TrafficEntry> MetricsDb::traffic_snapshot() const {
 
 void MetricsDb::forget_task(sched::TaskId task) {
   loads_.erase(static_cast<std::uint32_t>(task));
+  queues_.erase(static_cast<std::uint32_t>(task));
   std::erase_if(traffic_, [task](const auto& kv) {
     const auto src = static_cast<sched::TaskId>(kv.first >> 32);
     const auto dst = static_cast<sched::TaskId>(kv.first & 0xffffffffu);

@@ -38,6 +38,9 @@ class MetricsDb {
 
   /// --- Written by load monitors. ---
   void update_executor_load(sched::TaskId task, double mhz_sample);
+  /// Input-queue depth of one executor (queue pressure: lets schedulers
+  /// distinguish an executor that is merely busy from one falling behind).
+  void update_executor_queue(sched::TaskId task, double depth_sample);
   void update_traffic(sched::TaskId src, sched::TaskId dst,
                       double rate_sample);
   void update_node_load(sched::NodeId node, double mhz_sample);
@@ -48,6 +51,7 @@ class MetricsDb {
 
   /// --- Read by the schedule generator. ---
   [[nodiscard]] double executor_load(sched::TaskId task) const;
+  [[nodiscard]] double executor_queue(sched::TaskId task) const;
   [[nodiscard]] double node_load(sched::NodeId node) const;
   [[nodiscard]] double node_queue(sched::NodeId node) const;
   [[nodiscard]] std::vector<sched::TrafficEntry> traffic_snapshot() const;
@@ -78,6 +82,7 @@ class MetricsDb {
 
   EstimatorFactory factory_;
   std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> loads_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> queues_;
   std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> node_loads_;
   std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> node_queues_;
   std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> traffic_;

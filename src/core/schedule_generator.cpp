@@ -55,7 +55,10 @@ sched::SchedulerInput ScheduleGenerator::build_input() const {
     if (cluster_.coordination().get(id) != nullptr) topos.push_back(id);
   }
   auto input = cluster_.scheduler_input(topos);
-  for (auto& e : input.executors) e.load_mhz = db_.executor_load(e.task);
+  for (auto& e : input.executors) {
+    e.load_mhz = db_.executor_load(e.task);
+    e.queue_depth = db_.executor_queue(e.task);
+  }
   input.traffic = db_.traffic_snapshot();
   for (auto& c : input.node_capacity_mhz) c *= config_.capacity_fraction;
   input.gamma = config_.gamma;

@@ -1,0 +1,131 @@
+#include "flow/flow.h"
+
+#include <string>
+
+namespace tstorm::runtime {
+
+// Defined here (not in cluster.cpp) so tstorm_flow is self-contained: it is
+// the only library that needs the name at link time.
+const char* to_string(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kDropNewest:
+      return "drop-newest";
+    case ShedPolicy::kDropOldest:
+      return "drop-oldest";
+    case ShedPolicy::kProbabilistic:
+      return "probabilistic";
+  }
+  return "?";
+}
+
+}  // namespace tstorm::runtime
+
+namespace tstorm::flow {
+
+FlowController::FlowController(sim::Simulation& sim,
+                               const runtime::FlowConfig& config,
+                               runtime::CoordinationStore& coordination,
+                               trace::TraceLog& trace, std::uint64_t seed)
+    : sim_(sim),
+      config_(config),
+      coordination_(coordination),
+      trace_(trace),
+      // Dedicated substream: derived from the cluster seed but never shared
+      // with it, so probabilistic shedding adds no draws to any other
+      // module's stream.
+      rng_(seed ^ 0x666c6f772d637472ULL) {}
+
+ShedVictim FlowController::choose_victim() {
+  switch (config_.shed_policy) {
+    case runtime::ShedPolicy::kDropNewest:
+      return ShedVictim::kNewest;
+    case runtime::ShedPolicy::kDropOldest:
+      return ShedVictim::kOldest;
+    case runtime::ShedPolicy::kProbabilistic:
+      return rng_.bernoulli(config_.shed_probability) ? ShedVictim::kNewest
+                                                      : ShedVictim::kOldest;
+  }
+  return ShedVictim::kNewest;
+}
+
+void FlowController::note_shed(sched::TopologyId topo, sched::TaskId task,
+                               sched::NodeId node) {
+  ++shed_total_;
+  ++shed_by_task_[task];
+  shed_window_.add(sim_.now());
+  trace_.record({sim_.now(), trace::EventKind::kTupleShed, topo, node, -1, 0,
+                 "task=" + std::to_string(task) + " policy=" +
+                     runtime::to_string(config_.shed_policy)});
+}
+
+void FlowController::on_enqueue(const void* key, sched::TopologyId topo,
+                                std::size_t depth) {
+  if (!config_.enabled) return;
+  if (depth < static_cast<std::size_t>(config_.high_mark())) return;
+  if (!over_high_.insert(key).second) return;  // already counted
+  auto& state = topologies_[topo];
+  if (++state.over_high == 1) throttle_on(topo, state);
+}
+
+void FlowController::on_dequeue(const void* key, sched::TopologyId topo,
+                                std::size_t depth) {
+  if (!config_.enabled) return;
+  // Hysteresis: an executor that tripped the high watermark keeps its
+  // throttle contribution until it drains below the LOW watermark, not
+  // merely below high — otherwise one service completion at the boundary
+  // would flap the flag every event.
+  if (depth > static_cast<std::size_t>(config_.low_mark())) return;
+  if (over_high_.erase(key) == 0) return;
+  auto& state = topologies_[topo];
+  if (--state.over_high == 0) throttle_off(topo, state);
+}
+
+void FlowController::forget(const void* key, sched::TopologyId topo) {
+  if (over_high_.erase(key) == 0) return;
+  auto it = topologies_.find(topo);
+  if (it == topologies_.end()) return;
+  if (--it->second.over_high == 0) throttle_off(topo, it->second);
+}
+
+bool FlowController::throttled(sched::TopologyId topo) const {
+  auto it = topologies_.find(topo);
+  return it != topologies_.end() && it->second.over_high > 0;
+}
+
+std::uint64_t FlowController::shed_for_task(sched::TaskId task) const {
+  auto it = shed_by_task_.find(task);
+  return it == shed_by_task_.end() ? 0 : it->second;
+}
+
+void FlowController::throttle_on(sched::TopologyId topo, TopoState& state) {
+  ++throttle_activations_;
+  coordination_.set_backpressure(topo, true);
+  trace_.record(
+      {sim_.now(), trace::EventKind::kBackpressureOn, topo, -1, -1, 0, ""});
+  pause_spouts(topo);
+  if (!state.refresher) {
+    state.refresher = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.throttle_refresh_period,
+        [this, topo] { pause_spouts(topo); });
+  }
+  state.refresher->start(config_.throttle_refresh_period);
+}
+
+void FlowController::throttle_off(sched::TopologyId topo, TopoState& state) {
+  coordination_.set_backpressure(topo, false);
+  trace_.record(
+      {sim_.now(), trace::EventKind::kBackpressureOff, topo, -1, -1, 0, ""});
+  // Stop re-arming the spout pause; the last pause expires within two
+  // refresh periods and the spouts resume on their own. Stopping (rather
+  // than letting the task idle forever) also keeps the post-quiesce
+  // pending-event audit clean.
+  if (state.refresher) state.refresher->stop();
+}
+
+void FlowController::pause_spouts(sched::TopologyId topo) {
+  // Pause beyond the next refresh tick so coverage is gapless while the
+  // flag is set, but expires promptly after throttle-off.
+  if (pauser_) pauser_(topo, sim_.now() + 2.0 * config_.throttle_refresh_period);
+}
+
+}  // namespace tstorm::flow

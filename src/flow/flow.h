@@ -1,0 +1,131 @@
+// FlowController: the flow-control subsystem — bounded executor queues,
+// Storm-1.x-style backpressure propagation, and last-resort load shedding.
+//
+// Executors report queue-depth transitions here. When a queue crosses the
+// configured high watermark the controller publishes a topology-wide
+// throttle flag through the CoordinationStore (the ZooKeeper backpressure
+// znode of Storm 1.x) and pauses the topology's spouts via the existing
+// pause_spout_until hook, re-arming the pause on a refresh cadence for as
+// long as the flag is set. The flag clears only when every contributing
+// executor has drained below the low watermark — the hysteresis band keeps
+// the signal from flapping on every enqueue/dequeue. Shedding decisions
+// (what to do with a tuple arriving at a hard-full queue) are made here
+// too, so the probabilistic policy draws from a dedicated RNG substream
+// and determinism is preserved: the same seed produces the same shed
+// sequence, and a disabled FlowConfig produces no draws, no events and no
+// trace entries at all.
+//
+// The controller never dereferences executors — they identify themselves
+// by opaque key and pass their topology/task/node explicitly — so the flow
+// layer stays decoupled from the runtime's object graph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/timeseries.h"
+#include "runtime/config.h"
+#include "runtime/coordination.h"
+#include "sched/types.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "trace/trace.h"
+
+namespace tstorm::flow {
+
+/// Which tuple a hard-full queue sheds.
+enum class ShedVictim : std::uint8_t {
+  kNewest,  // reject the arriving tuple
+  kOldest,  // evict the oldest queued data tuple, admit the arrival
+};
+
+class FlowController {
+ public:
+  FlowController(sim::Simulation& sim, const runtime::FlowConfig& config,
+                 runtime::CoordinationStore& coordination,
+                 trace::TraceLog& trace, std::uint64_t seed);
+  // Non-copyable/movable: refresher tasks capture `this`.
+  FlowController(const FlowController&) = delete;
+  FlowController& operator=(const FlowController&) = delete;
+
+  [[nodiscard]] const runtime::FlowConfig& config() const { return config_; }
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] int capacity() const { return config_.queue_capacity; }
+
+  /// Installed by the cluster: pauses every live spout executor of `topo`
+  /// until the given time (quiet variant of Cluster::pause_spouts).
+  void set_spout_pauser(
+      std::function<void(sched::TopologyId, sim::Time)> pauser) {
+    pauser_ = std::move(pauser);
+  }
+
+  /// --- Shedding (executor deliver path, hard-full queues only). ---
+
+  /// Victim selection per the configured policy. kProbabilistic draws from
+  /// the controller's private RNG substream.
+  [[nodiscard]] ShedVictim choose_victim();
+
+  /// Accounts one shed tuple: per-task and total counters, the 60 s shed
+  /// window (shed-rate gauge), and a kTupleShed trace event.
+  void note_shed(sched::TopologyId topo, sched::TaskId task,
+                 sched::NodeId node);
+
+  /// --- Backpressure (executor queue transitions). ---
+  /// `key` identifies the executor instance (opaque; two instances of one
+  /// task during reassignment co-existence are tracked independently).
+  void on_enqueue(const void* key, sched::TopologyId topo, std::size_t depth);
+  void on_dequeue(const void* key, sched::TopologyId topo, std::size_t depth);
+
+  /// Executor shutdown: removes its throttle contribution (may clear the
+  /// topology flag).
+  void forget(const void* key, sched::TopologyId topo);
+
+  /// Current throttle flag (mirror of the CoordinationStore publication).
+  [[nodiscard]] bool throttled(sched::TopologyId topo) const;
+
+  /// --- Stats / gauges. ---
+  [[nodiscard]] std::uint64_t shed_total() const { return shed_total_; }
+  [[nodiscard]] std::uint64_t shed_for_task(sched::TaskId task) const;
+  /// Shed events bucketed into 60 s windows (rate gauge).
+  [[nodiscard]] const metrics::WindowedCounter& shed_window() const {
+    return shed_window_;
+  }
+  /// Number of 0->1 throttle transitions observed (== kBackpressureOn
+  /// trace events recorded).
+  [[nodiscard]] std::uint64_t throttle_activations() const {
+    return throttle_activations_;
+  }
+
+ private:
+  struct TopoState {
+    int over_high = 0;  // executors currently above the high watermark
+    std::unique_ptr<sim::PeriodicTask> refresher;
+  };
+
+  void throttle_on(sched::TopologyId topo, TopoState& state);
+  void throttle_off(sched::TopologyId topo, TopoState& state);
+  void pause_spouts(sched::TopologyId topo);
+
+  sim::Simulation& sim_;
+  runtime::FlowConfig config_;
+  runtime::CoordinationStore& coordination_;
+  trace::TraceLog& trace_;
+  std::function<void(sched::TopologyId, sim::Time)> pauser_;
+
+  /// Private substream: probabilistic shedding never perturbs the main
+  /// cluster RNG (workloads, edge ids).
+  sim::Rng rng_;
+
+  std::unordered_set<const void*> over_high_;
+  std::unordered_map<sched::TopologyId, TopoState> topologies_;
+  std::unordered_map<sched::TaskId, std::uint64_t> shed_by_task_;
+  std::uint64_t shed_total_ = 0;
+  std::uint64_t throttle_activations_ = 0;
+  metrics::WindowedCounter shed_window_{60.0};
+};
+
+}  // namespace tstorm::flow

@@ -81,4 +81,23 @@ void write_series_csv(std::ostream& os, const std::vector<SeriesColumn>& cols,
   }
 }
 
+void print_flow_gauges(std::ostream& os,
+                       const std::vector<FlowGaugeRow>& rows,
+                       double shed_rate_per_s) {
+  os << std::setw(8) << "task" << std::setw(8) << "node" << std::setw(12)
+     << "queue" << std::setw(12) << "shed" << '\n';
+  std::size_t depth_total = 0;
+  std::uint64_t shed_total = 0;
+  for (const auto& r : rows) {
+    depth_total += r.queue_depth;
+    shed_total += r.shed;
+    if (r.queue_depth == 0 && r.shed == 0) continue;
+    os << std::setw(8) << r.task << std::setw(8) << r.node << std::setw(12)
+       << r.queue_depth << std::setw(12) << r.shed << '\n';
+  }
+  os << std::setw(8) << "total" << std::setw(8) << "-" << std::setw(12)
+     << depth_total << std::setw(12) << shed_total << "  ("
+     << format_ms(shed_rate_per_s) << " shed/s recent)\n";
+}
+
 }  // namespace tstorm::metrics

@@ -2,6 +2,7 @@
 // paper plots: running time vs. average processing time, per scheduler.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -27,5 +28,21 @@ void write_series_csv(std::ostream& os, const std::vector<SeriesColumn>& cols,
 
 /// Formats a double with fixed precision, "-" for NaN.
 std::string format_ms(double v, int precision = 2);
+
+/// --- Flow-control gauges. ---
+/// One per-executor row: input-queue depth and tuples shed so far.
+/// Assembled by callers from runtime state (Cluster::flow_gauges()).
+struct FlowGaugeRow {
+  int task = -1;
+  int node = -1;
+  std::size_t queue_depth = 0;
+  std::uint64_t shed = 0;
+};
+
+/// Aligned table of per-executor queue depth and shed counts, with a
+/// totals footer including the recent shed rate (events/s over the shed
+/// window). Rows with zero depth and zero shed are elided.
+void print_flow_gauges(std::ostream& os, const std::vector<FlowGaugeRow>& rows,
+                       double shed_rate_per_s);
 
 }  // namespace tstorm::metrics

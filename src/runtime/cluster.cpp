@@ -24,6 +24,12 @@ int clamp_min_int(int v, int lo, const char* what) {
   return std::max(v, lo);
 }
 
+double clamp_range(double v, double lo, double hi, const char* what) {
+  (void)what;
+  assert(v >= lo && v <= hi && "ClusterConfig: value out of range");
+  return std::min(std::max(v, lo), hi);
+}
+
 }  // namespace
 
 ClusterConfig validated(ClusterConfig config) {
@@ -71,6 +77,20 @@ ClusterConfig validated(ClusterConfig config) {
       clamp_min(config.shutdown_delay, 0.0, "shutdown_delay");
   config.spout_halt_delay =
       clamp_min(config.spout_halt_delay, 0.0, "spout_halt_delay");
+  config.flow.queue_capacity =
+      clamp_min_int(config.flow.queue_capacity, 1, "flow.queue_capacity");
+  config.flow.high_watermark = clamp_range(config.flow.high_watermark, 0.0,
+                                           1.0, "flow.high_watermark");
+  // The hysteresis band requires low <= high (strictly below in sane
+  // configs; equal degenerates to a single threshold but stays correct).
+  config.flow.low_watermark =
+      clamp_range(config.flow.low_watermark, 0.0, config.flow.high_watermark,
+                  "flow.low_watermark");
+  config.flow.throttle_refresh_period =
+      clamp_min(config.flow.throttle_refresh_period,
+                sim::PeriodicTask::kMinPeriod, "flow.throttle_refresh_period");
+  config.flow.shed_probability = clamp_range(
+      config.flow.shed_probability, 0.0, 1.0, "flow.shed_probability");
   return config;
 }
 
@@ -85,6 +105,7 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
                // seed: enabling network faults never perturbs the main RNG
                // stream (edge ids, workloads).
                config_.seed ^ 0x6e65742d6661756cULL),
+      flow_(sim, config_.flow, coordination_, trace_, config_.seed),
       tracker_(*this, recorder_),
       nimbus_(*this),
       default_initial_(std::make_unique<sched::RoundRobinScheduler>()) {
@@ -118,6 +139,19 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
   // Self-healing loop: supervisors heartbeat unconditionally; the Nimbus
   // monitor that acts on them is opt-in.
   if (config_.failure_detection) nimbus_.start_failure_detector();
+  // Backpressure spout pauser: the quiet variant of pause_spouts — the
+  // refresher re-arms it every throttle_refresh_period, so tracing each
+  // call (as pause_spouts does with kSpoutsHalted) would flood the ring.
+  // Throttle transitions are traced as kBackpressureOn/Off instead.
+  flow_.set_spout_pauser([this](sched::TopologyId topo, sim::Time until) {
+    for (const auto& [task, instances] : router_) {
+      for (Executor* e : instances) {
+        if (e->info().topology == topo && e->info().is_spout()) {
+          e->pause_spout_until(until);
+        }
+      }
+    }
+  });
 }
 
 const char* to_string(DropCause cause) {
@@ -128,6 +162,8 @@ const char* to_string(DropCause cause) {
       return "network-loss";
     case DropCause::kShutdownDrain:
       return "shutdown-drain";
+    case DropCause::kLoadShed:
+      return "load-shed";
   }
   return "?";
 }
@@ -500,7 +536,8 @@ bool Cluster::node_available(sched::NodeId node) const {
 }
 
 std::uint64_t Cluster::dropped_messages() const {
-  return dropped_by_cause_[0] + dropped_by_cause_[1] + dropped_by_cause_[2];
+  return dropped_by_cause_[0] + dropped_by_cause_[1] + dropped_by_cause_[2] +
+         dropped_by_cause_[3];
 }
 
 std::uint64_t Cluster::dropped_by(DropCause cause) const {
@@ -510,6 +547,21 @@ std::uint64_t Cluster::dropped_by(DropCause cause) const {
 void Cluster::note_drop(DropCause cause) {
   ++dropped_by_cause_[static_cast<int>(cause)];
   recorder_.record_drop(sim_.now());
+}
+
+std::vector<metrics::FlowGaugeRow> Cluster::flow_gauges() const {
+  std::vector<metrics::FlowGaugeRow> rows;
+  for (const auto& [task, instances] : router_) {
+    for (Executor* e : instances) {
+      rows.push_back({e->task(), e->node_id(), e->data_queue_depth(),
+                      flow_.shed_for_task(e->task())});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const metrics::FlowGaugeRow& a, const metrics::FlowGaugeRow& b) {
+              return a.task != b.task ? a.task < b.task : a.node < b.node;
+            });
+  return rows;
 }
 
 }  // namespace tstorm::runtime

@@ -10,7 +10,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flow/flow.h"
 #include "metrics/completion.h"
+#include "metrics/reporter.h"
 #include "net/network.h"
 #include "runtime/config.h"
 #include "runtime/coordination.h"
@@ -41,6 +43,9 @@ enum class DropCause : std::uint8_t {
   kNetworkLoss,
   /// The message was queued at an executor when its worker shut down.
   kShutdownDrain,
+  /// Flow control shed the tuple at a hard-full executor queue (see
+  /// FlowConfig::shed_policy).
+  kLoadShed,
 };
 
 const char* to_string(DropCause cause);
@@ -83,6 +88,9 @@ class Cluster {
   }
   /// Control-plane event trace (see trace/trace.h).
   [[nodiscard]] trace::TraceLog& trace_log() { return trace_; }
+  /// Flow control: bounded queues, backpressure, shedding (config_.flow).
+  [[nodiscard]] flow::FlowController& flow() { return flow_; }
+  [[nodiscard]] const flow::FlowController& flow() const { return flow_; }
 
   [[nodiscard]] int num_nodes() const { return config_.num_nodes; }
   [[nodiscard]] WorkerNode& node(sched::NodeId id);
@@ -173,6 +181,11 @@ class Cluster {
   /// for the executor/worker shutdown paths).
   void note_drop(DropCause cause);
 
+  /// Per-executor flow gauges (data-queue depth + shed count) for every
+  /// registered executor, sorted by task then node (stable output for
+  /// metrics::print_flow_gauges).
+  [[nodiscard]] std::vector<metrics::FlowGaugeRow> flow_gauges() const;
+
  private:
   /// In-flight message slab. Envelopes awaiting network delivery are parked
   /// here and referenced by a 32-bit handle, so delivery closures capture
@@ -191,6 +204,9 @@ class Cluster {
   // Declared before supervisors_ so it outlives them: workers emit
   // worker-stopped events from their destructors.
   trace::TraceLog trace_;
+  // After coordination_/trace_ (it holds references to both), before
+  // supervisors_ (executors call flow().forget from shutdown).
+  flow::FlowController flow_;
   TupleTracker tracker_;
   Nimbus nimbus_;
 
@@ -212,7 +228,7 @@ class Cluster {
   /// reassignment co-existence).
   std::unordered_map<sched::TaskId, std::vector<Executor*>> router_;
 
-  std::uint64_t dropped_by_cause_[3] = {0, 0, 0};
+  std::uint64_t dropped_by_cause_[4] = {0, 0, 0, 0};
   std::unique_ptr<sched::ISchedulingAlgorithm> default_initial_;
 
   /// Slot storage for stash_envelope()/take_envelope(); free slots are a

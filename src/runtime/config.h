@@ -19,6 +19,73 @@ struct NodeSpec {
   double per_core_mhz = 2000.0;
 };
 
+/// What to do with a data tuple arriving at a hard-full executor queue.
+/// Control messages (acks, emit signals, ticks, replays) are never shed:
+/// dropping them would wedge the ack protocol instead of degrading it.
+enum class ShedPolicy : std::uint8_t {
+  /// Reject the arriving tuple (tail drop, Storm's receive-queue default).
+  kDropNewest,
+  /// Evict the oldest queued data tuple to admit the new one (freshness
+  /// wins — the evicted tuple was closest to its timeout anyway).
+  kDropOldest,
+  /// With probability shed_probability reject the arrival, otherwise evict
+  /// the oldest (randomized tail/head mix; uses a dedicated RNG substream
+  /// so enabling it never perturbs workload randomness).
+  kProbabilistic,
+};
+
+const char* to_string(ShedPolicy policy);
+
+/// --- Flow control: bounded queues, backpressure, load shedding. ---
+/// Disabled by default; with `enabled == false` the runtime's behaviour
+/// (and its event/RNG sequence) is bit-identical to a build without flow
+/// control. When enabled:
+///   * every executor input queue is bounded at queue_capacity *data*
+///     envelopes (control messages are always admitted — they are tiny and
+///     shedding them would break the ack protocol, not relieve overload);
+///   * an executor whose queue crosses high_watermark publishes a
+///     topology-wide throttle flag through the CoordinationStore
+///     (Storm-1.x style backpressure znode); spouts of that topology are
+///     paused via pause_spout_until and stay paused, refreshed every
+///     throttle_refresh_period, until every executor contributing to the
+///     flag has drained below low_watermark (hysteresis: one queue cannot
+///     flap the signal per event);
+///   * a tuple arriving at a hard-full queue is shed per shed_policy,
+///     counted under DropCause::kLoadShed and traced as kTupleShed.
+struct FlowConfig {
+  bool enabled = false;
+
+  /// Hard cap on queued data envelopes per executor.
+  int queue_capacity = 512;
+
+  /// Throttle-on threshold as a fraction of queue_capacity.
+  double high_watermark = 0.8;
+
+  /// Throttle-off threshold as a fraction of queue_capacity; must be
+  /// strictly below high_watermark for the hysteresis band to exist.
+  double low_watermark = 0.4;
+
+  /// While a topology is throttled its spouts are re-paused (for twice
+  /// this period) on this cadence; after throttle-off they resume within
+  /// at most two periods.
+  double throttle_refresh_period = 0.05;
+
+  ShedPolicy shed_policy = ShedPolicy::kDropNewest;
+
+  /// kProbabilistic only: probability the arriving tuple (rather than the
+  /// oldest queued one) is the victim.
+  double shed_probability = 0.5;
+
+  [[nodiscard]] int high_mark() const {
+    return static_cast<int>(static_cast<double>(queue_capacity) *
+                            high_watermark);
+  }
+  [[nodiscard]] int low_mark() const {
+    return static_cast<int>(static_cast<double>(queue_capacity) *
+                            low_watermark);
+  }
+};
+
 struct ClusterConfig {
   int num_nodes = 10;
   int slots_per_node = 4;
@@ -122,6 +189,10 @@ struct ClusterConfig {
   /// executor, and of spout control handling.
   double acker_cost_mc = 0.02;
   double spout_control_cost_mc = 0.01;
+
+  /// Flow control (bounded queues + backpressure + shedding); off by
+  /// default so existing runs are bit-identical.
+  FlowConfig flow;
 
   /// RNG seed for the whole simulation.
   std::uint64_t seed = 42;

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 
 #include "sched/types.h"
@@ -37,7 +38,27 @@ class CoordinationStore {
     return assignments_;
   }
 
-  void remove(sched::TopologyId topo) { assignments_.erase(topo); }
+  void remove(sched::TopologyId topo) {
+    assignments_.erase(topo);
+    backpressure_.erase(topo);
+  }
+
+  /// --- Backpressure flags (Storm 1.x's backpressure znodes). ---
+  /// A worker whose executor queue crosses the high watermark sets the
+  /// topology's flag; it is cleared once every contributing executor has
+  /// drained below the low watermark. Spout-side logic polls this flag to
+  /// decide whether to keep emitting.
+  void set_backpressure(sched::TopologyId topo, bool on) {
+    if (on) {
+      backpressure_.insert(topo);
+    } else {
+      backpressure_.erase(topo);
+    }
+  }
+
+  [[nodiscard]] bool backpressure(sched::TopologyId topo) const {
+    return backpressure_.count(topo) != 0;
+  }
 
   /// --- Supervisor heartbeats. ---
   /// Records that `node`'s supervisor was alive at time `t` (monotone:
@@ -60,6 +81,7 @@ class CoordinationStore {
  private:
   std::map<sched::TopologyId, AssignmentRecord> assignments_;
   std::unordered_map<sched::NodeId, sim::Time> heartbeats_;
+  std::set<sched::TopologyId> backpressure_;
 };
 
 }  // namespace tstorm::runtime

@@ -40,13 +40,17 @@ void Executor::shutdown() {
     busy_ = false;
   }
   // Queued envelopes are lost with the worker process; data tuples will
-  // surface as timeouts at their spouts.
+  // surface as timeouts at their spouts. Replay envelopes carry tuples
+  // too — a replay queued at a dying spout is just as lost as fresh data,
+  // so it must be attributed or conservation audits under-count.
   for (const auto& env : queue_) {
-    if (env.kind == MsgKind::kData) {
+    if (env.kind == MsgKind::kData || env.kind == MsgKind::kReplay) {
       cluster_.note_drop(DropCause::kShutdownDrain);
     }
   }
   queue_.clear();
+  data_queued_ = 0;
+  cluster_.flow().forget(this, info_.topology);
   running_ = false;
   cluster_.unregister_executor(this);
   cluster_.node(node_id()).thread_finished();
@@ -59,8 +63,38 @@ void Executor::deliver(Envelope env) {
     }
     return;
   }
+  flow::FlowController& flow = cluster_.flow();
+  if (flow.enabled() && env.kind == MsgKind::kData &&
+      data_queued_ >= static_cast<std::size_t>(flow.capacity())) {
+    // Hard-full: shed. Either the arrival is the victim, or the oldest
+    // queued data tuple is evicted to admit it (falling back to the
+    // arrival when nothing is evictable — e.g. the only queued data
+    // envelope is the one in service).
+    if (flow.choose_victim() == flow::ShedVictim::kNewest ||
+        !shed_oldest_data()) {
+      cluster_.note_drop(DropCause::kLoadShed);
+      flow.note_shed(info_.topology, task(), node_id());
+      return;
+    }
+  }
+  if (env.kind == MsgKind::kData) ++data_queued_;
   queue_.push_back(std::move(env));
+  flow.on_enqueue(this, info_.topology, data_queued_);
   if (!busy_) begin_service();
+}
+
+bool Executor::shed_oldest_data() {
+  // While busy, queue_.front() is the in-service envelope — evicting it
+  // would corrupt the service in flight, so the scan starts at 1.
+  for (std::size_t i = busy_ ? 1 : 0; i < queue_.size(); ++i) {
+    if (queue_[i].kind != MsgKind::kData) continue;
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    --data_queued_;
+    cluster_.note_drop(DropCause::kLoadShed);
+    cluster_.flow().note_shed(info_.topology, task(), node_id());
+    return true;
+  }
+  return false;
 }
 
 void Executor::begin_service() {
@@ -92,6 +126,10 @@ void Executor::finish_service() {
   Envelope env = std::move(queue_.front());
   queue_.pop_front();
   busy_ = false;
+  if (env.kind == MsgKind::kData) {
+    --data_queued_;
+    cluster_.flow().on_dequeue(this, info_.topology, data_queued_);
+  }
   process(env);
   if (running_ && !busy_ && !queue_.empty()) begin_service();
 }
@@ -330,6 +368,12 @@ void SpoutExecutor::on_shutdown() {
     cluster_.sim().cancel(poll_event_);
     poll_event_ = sim::kInvalidEvent;
   }
+  // Replays parked for re-emission die with the spout; without a drop
+  // record the conservation audit would see them vanish.
+  for (std::size_t i = 0; i < replay_buffer_.size(); ++i) {
+    cluster_.note_drop(DropCause::kShutdownDrain);
+  }
+  replay_buffer_.clear();
 }
 
 void SpoutExecutor::pause_until(sim::Time t) {

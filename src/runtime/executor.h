@@ -37,6 +37,9 @@ class Executor {
   void shutdown();
 
   /// Enqueues an envelope; starts service if idle. Dropped if not running.
+  /// With flow control enabled, a data envelope arriving at a hard-full
+  /// queue is shed per FlowConfig::shed_policy (control messages always
+  /// pass — dropping acks would wedge the protocol, not relieve load).
   void deliver(Envelope env);
 
   [[nodiscard]] const TaskInfo& info() const { return info_; }
@@ -46,6 +49,9 @@ class Executor {
   [[nodiscard]] sched::NodeId node_id() const;
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  /// Queued *data* envelopes only — what the flow-control watermarks and
+  /// capacity bound count (includes the in-service one while busy).
+  [[nodiscard]] std::size_t data_queue_depth() const { return data_queued_; }
 
   /// --- Load-monitor hooks (paper section IV-B). ---
   /// Mega-cycles consumed since the last call (divide by the sampling
@@ -85,10 +91,14 @@ class Executor {
  private:
   void begin_service();
   void finish_service();
+  /// Evicts the oldest queued data envelope (skipping the in-service front
+  /// while busy) to make room for an arrival. False if none is evictable.
+  bool shed_oldest_data();
 
   // By value: the cluster's task table can reallocate on later submits.
   const TaskInfo info_;
   std::deque<Envelope> queue_;
+  std::size_t data_queued_ = 0;
   bool running_ = false;
   bool busy_ = false;
   sim::EventId service_event_ = sim::kInvalidEvent;

@@ -86,6 +86,12 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
   // Assigned executors grouped by node, for incremental-traffic costs.
   std::unordered_map<TaskId, NodeId> task_node;
 
+  // Effective capacity footprint: CPU load plus optional queue pressure
+  // (weight 0 == the paper's Algorithm 1, CPU only).
+  const auto effective_load = [&](const ExecutorSpec& e) {
+    return e.load_mhz + options_.queue_pressure_weight * e.queue_depth;
+  };
+
   // --- Line 3-7: greedy assignment. ---
   for (const ExecutorSpec* e : order) {
     // Traffic from e to executors already assigned, grouped by node.
@@ -121,7 +127,7 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
         if (lock != nst.topo_slot.end() && lock->second != s.slot) continue;
         if (st.owner != -1 && st.owner != e->topology) continue;
 
-        if (enforce_capacity && nst.load + e->load_mhz > capacity(k)) {
+        if (enforce_capacity && nst.load + effective_load(*e) > capacity(k)) {
           continue;
         }
         if (enforce_count && nst.count + 1 > count_limit) continue;
@@ -174,7 +180,7 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
     NodeState& nst = nodes[static_cast<std::size_t>(st.node)];
     st.owner = e->topology;
     nst.topo_slot[e->topology] = best;
-    nst.load += e->load_mhz;
+    nst.load += effective_load(*e);
     nst.count += 1;
     task_node[e->task] = st.node;
     result.assignment[e->task] = best;

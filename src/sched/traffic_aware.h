@@ -19,6 +19,13 @@ struct TrafficAwareOptions {
   /// When no slot satisfies all constraints, relax the count constraint
   /// first, then capacity. The structural constraint (1) is never relaxed.
   bool allow_relaxation = true;
+
+  /// MHz of effective load attributed per queued envelope: an executor's
+  /// capacity footprint becomes load_mhz + weight * queue_depth, steering
+  /// the greedy pass away from packing backlogged executors onto
+  /// near-capacity nodes. 0 (default) reproduces the paper's Algorithm 1
+  /// exactly — CPU load only.
+  double queue_pressure_weight = 0.0;
 };
 
 class TrafficAwareScheduler final : public ISchedulingAlgorithm {

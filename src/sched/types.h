@@ -29,6 +29,11 @@ struct ExecutorSpec {
   TopologyId topology = -1;
   /// Estimated workload l_i in MHz (EWMA of measured CPU usage).
   double load_mhz = 0;
+  /// Estimated input-queue depth (EWMA of sampled envelopes waiting).
+  /// Queue pressure distinguishes an executor that is busy from one that
+  /// is falling behind; schedulers may weigh it (see
+  /// TrafficAwareOptions::queue_pressure_weight) or ignore it.
+  double queue_depth = 0;
 };
 
 struct SlotSpec {

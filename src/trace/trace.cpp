@@ -36,6 +36,12 @@ const char* to_string(EventKind kind) {
       return "node-declared-alive";
     case EventKind::kChaosFault:
       return "chaos-fault";
+    case EventKind::kBackpressureOn:
+      return "backpressure-on";
+    case EventKind::kBackpressureOff:
+      return "backpressure-off";
+    case EventKind::kTupleShed:
+      return "tuple-shed";
   }
   return "?";
 }

@@ -36,6 +36,14 @@ enum class EventKind : std::uint8_t {
   kNodeDeclaredAlive,
   /// A chaos-harness fault injection (detail describes the fault).
   kChaosFault,
+  /// Flow control: a topology's backpressure throttle flag flipped on/off
+  /// (node = the executor's node that triggered the transition, where
+  /// known).
+  kBackpressureOn,
+  kBackpressureOff,
+  /// Flow control: a data tuple was shed at a hard-full executor queue
+  /// (node = the congested executor's node, detail names task + policy).
+  kTupleShed,
 };
 
 const char* to_string(EventKind kind);

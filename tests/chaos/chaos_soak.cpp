@@ -45,6 +45,13 @@ SoakOutcome soak_one(std::uint64_t seed) {
   cfg.node_timeout = 9.0;
   cfg.heartbeat_period = 2.0;
   cfg.monitor_period = 3.0;
+  // Flow control on with a deliberately small capacity: fault-induced
+  // backlogs (a recovering bolt absorbing replays) must trip backpressure
+  // and shedding during the sweep, and the auditor still has to balance —
+  // shed tuples are conserved as kLoadShed drops, not vanished.
+  cfg.flow.enabled = true;
+  cfg.flow.queue_capacity = 24;
+  cfg.flow.shed_policy = runtime::ShedPolicy::kProbabilistic;
   core::StormSystem sys(sim, cfg);
   auto& cluster = sys.cluster();
 

@@ -260,6 +260,109 @@ TEST(ReplayBackoff, ZeroBaseRestoresImmediateReplay) {
   EXPECT_DOUBLE_EQ(cluster.tracker().backoff_delay(5), 0.0);
 }
 
+TEST(ReplayBackoff, PendingCapWithReplaysInBackoffDrainsAfterRecovery) {
+  // The nasty interaction: a total loss spike times out every in-flight
+  // tuple, so spouts sit at the max_pending cap with all their slots tied
+  // up in replays that are themselves waiting out exponential backoff.
+  // Nothing may deadlock — once the network recovers, replays must land,
+  // free pending slots, and emission must resume.
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.tuple_timeout = 5.0;
+  cfg.replay_backoff_base = 0.5;
+  cfg.replay_backoff_max = 8.0;
+  cfg.max_replays = 20;
+  core::StormSystem sys(sim, cfg);
+  auto opt = small_throughput();
+  opt.max_pending = 8;  // tiny pending window: the cap binds immediately
+  sys.submit(workload::make_throughput_test(opt));
+  auto& cluster = sys.cluster();
+
+  FaultPlan plan;
+  plan.loss_spike(20.0, 1.0, 15.0);  // drop EVERY data message for 15 s
+  plan.inject(cluster);
+
+  sim.run_until(30.0);  // mid-spike: pending caps hit, replays backing off
+  const auto completed_mid = cluster.completion().total_completed();
+  sim.run_until(120.0);  // spike long over; backoffs (<= 8 s) all elapsed
+
+  // The system came back: completions grew well past the mid-spike count
+  // and the replay path did real work.
+  EXPECT_GT(cluster.completion().total_completed(), completed_mid + 100);
+  EXPECT_GT(cluster.completion().total_replayed(), 0u);
+  EXPECT_GT(cluster.completion().total_failed(), 0u);
+  EXPECT_GT(cluster.dropped_by(DropCause::kNetworkLoss), 0u);
+  const AuditReport report = InvariantAuditor(cluster).check_now();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// ------------------------------------------- Flow control under faults ---
+
+TEST(FlowChaos, LossSpikeWithBackpressureBalancesEveryTuple) {
+  // Overload + network loss + backpressure + shedding, all at once: every
+  // emitted tuple must still be accounted for — delivered, shed (kLoadShed)
+  // or lost (kNetworkLoss) — with nothing double-counted or vanished.
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.tuple_timeout = 8.0;
+  cfg.flow.enabled = true;
+  cfg.flow.queue_capacity = 32;
+  // Collapse the backpressure margin onto the hard cap so shedding engages
+  // alongside the throttle (see tests/flow/flow_test.cpp).
+  cfg.flow.high_watermark = 1.0;
+  cfg.flow.low_watermark = 0.4;
+  core::StormSystem sys(sim, cfg);
+
+  // 5 fast spouts, one 10 ms bolt, two workers: the bolt's queue is the
+  // bottleneck and spout->bolt hops cross the network (so both the loss
+  // spike and the shed race have traffic to act on).
+  workload::ChainOptions chain;
+  chain.spout_parallelism = 5;
+  chain.bolts = 1;
+  chain.bolt_parallelism = 1;
+  chain.ackers = 2;
+  chain.workers = 2;
+  chain.bolt_cost_mc = 20.0;
+  chain.max_pending = 1 << 20;
+  const auto id = sys.submit(workload::make_chain(chain));
+  auto& cluster = sys.cluster();
+
+  FaultPlan plan;
+  plan.loss_spike(20.0, 0.3, 10.0);
+  plan.inject(cluster);
+  sim.run_until(60.0);
+
+  // All three mechanisms actually fired together.
+  EXPECT_GT(cluster.dropped_by(DropCause::kLoadShed), 0u);
+  EXPECT_GT(cluster.dropped_by(DropCause::kNetworkLoss), 0u);
+  EXPECT_GE(cluster.trace_log().count(EventKind::kBackpressureOn), 1u);
+  EXPECT_GT(cluster.completion().total_completed(), 0u);
+
+  // Exact balance: the total equals the per-cause sum, the flow
+  // controller's shed count matches kLoadShed, the network's own drop
+  // counters match kNetworkLoss, and tuple conservation holds
+  // (delivered + failed == registered - in_flight) — i.e. shed + lost +
+  // delivered covers every emitted tuple exactly.
+  EXPECT_EQ(cluster.dropped_messages(),
+            cluster.dropped_by(DropCause::kDeadInstance) +
+                cluster.dropped_by(DropCause::kNetworkLoss) +
+                cluster.dropped_by(DropCause::kShutdownDrain) +
+                cluster.dropped_by(DropCause::kLoadShed));
+  InvariantAuditor auditor(cluster);
+  const AuditReport mid = auditor.check_now();
+  EXPECT_TRUE(mid.ok()) << mid.to_string();
+
+  // And the books still close after a full drain.
+  cluster.kill_topology(id);
+  sim.run_until(sim.now() +
+                (1.0 + cfg.late_ack_grace_factor) * cfg.tuple_timeout +
+                2.0 * cfg.supervisor_sync_period + 5.0);
+  EXPECT_FALSE(cluster.flow().throttled(id));
+  const AuditReport quiesced = auditor.check_quiesced();
+  EXPECT_TRUE(quiesced.ok()) << quiesced.to_string();
+}
+
 // --------------------------------------------------- Config validation ---
 
 TEST(ConfigValidation, ClusterConfigRejectsOrClampsBadValues) {
