@@ -2,7 +2,9 @@
 # Quick engine-performance smoke: builds the benchmark in Release, runs the
 # core event-loop figures with a short budget, asserts the hot path is
 # allocation-free, and appends the JSON result to BENCH_history.jsonl so
-# regressions are visible across commits.
+# regressions are visible across commits. Also runs the trace_export
+# example as an observability self-check: the Chrome trace must parse as
+# JSON and carry at least one scheduling-decision record.
 #
 # Usage: scripts/bench_smoke.sh [label]
 set -euo pipefail
@@ -15,7 +17,8 @@ trap 'rm -f "$out"' EXIT
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$(nproc)" \
-  --target core_event_bench --target flow_bench >/dev/null
+  --target core_event_bench --target flow_bench \
+  --target trace_export >/dev/null
 
 "$build/bench/core_event_bench" \
   --quick --assert-zero-alloc --label "$label" --out "$out"
@@ -31,3 +34,21 @@ echo >> "$repo/BENCH_history.jsonl"
 tr -d '\n' < "$out" >> "$repo/BENCH_history.jsonl"
 echo >> "$repo/BENCH_history.jsonl"
 echo "appended '$label' to BENCH_history.jsonl"
+
+# Observability self-check: the example exits nonzero when the run records
+# no decisions or tuple traces; the python check asserts the Chrome export
+# is well-formed JSON with >= 1 decision instant.
+trace_dir="$(mktemp -d)"
+trap 'rm -f "$out"; rm -rf "$trace_dir"' EXIT
+"$build/examples/trace_export" \
+  "$trace_dir/trace.json" "$trace_dir/trace.jsonl" >/dev/null
+python3 - "$trace_dir/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+decisions = [e for e in doc["traceEvents"]
+             if e.get("ph") == "i" and e.get("name", "").startswith("decision")]
+assert decisions, "no scheduling-decision instants in the Chrome trace"
+print(f"trace_export OK: {len(doc['traceEvents'])} events, "
+      f"{len(decisions)} decisions")
+EOF

@@ -125,6 +125,25 @@ void InvariantAuditor::check_tracker_shape(AuditReport& report) const {
   }
 }
 
+void InvariantAuditor::check_schedule_provenance(AuditReport& report) const {
+  // Every applied schedule must be explainable: the version stamped on a
+  // kScheduleApplied trace event has to exist in the provenance log's
+  // published-version set (which survives ring eviction). This catches a
+  // scheduling path that publishes placements without recording why —
+  // exactly the class of silent decision the provenance layer exists to
+  // eliminate, and the auto-rebalance path chaos runs exercise hardest.
+  for (const trace::Event& e :
+       cluster_.trace_log().of_kind(trace::EventKind::kScheduleApplied)) {
+    if (!cluster_.provenance().has_version(e.version)) {
+      violate(report,
+              "schedule applied without provenance: version " +
+                  std::to_string(e.version) + " (topology " +
+                  std::to_string(e.topology) + ", t=" +
+                  std::to_string(e.time) + ") has no DecisionRecord");
+    }
+  }
+}
+
 void InvariantAuditor::check_tracker_drained(AuditReport& report) const {
   const runtime::TupleTracker& tracker = cluster_.tracker();
   if (tracker.in_flight() != 0) {
@@ -160,6 +179,7 @@ AuditReport InvariantAuditor::check_now() const {
   check_executor_registrations(report);
   check_drop_attribution(report);
   check_tracker_shape(report);
+  check_schedule_provenance(report);
   return report;
 }
 

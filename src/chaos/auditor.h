@@ -15,6 +15,11 @@
 //     cluster's kNetworkLoss drop cause.
 //   * Tracker shape: in_flight <= tracked entries (failed entries linger
 //     for the late-ack grace window, live ones are a subset).
+//   * Schedule provenance: every schedule-applied trace event (initial
+//     placements, manual rebalances, auto-rebalances around dead nodes,
+//     generator publishes) carries an assignment version the provenance
+//     log knows — no placement may ever reach the coordination store
+//     without a DecisionRecord explaining it.
 //
 // Quiesced invariants (hold once spouts are silenced and the late-ack
 // grace window has elapsed):
@@ -58,6 +63,7 @@ class InvariantAuditor {
   void check_executor_registrations(AuditReport& report) const;
   void check_drop_attribution(AuditReport& report) const;
   void check_tracker_shape(AuditReport& report) const;
+  void check_schedule_provenance(AuditReport& report) const;
   void check_tracker_drained(AuditReport& report) const;
   void check_pending_bounded(AuditReport& report) const;
 

@@ -75,6 +75,13 @@ struct CoreConfig {
   int consolidation_min_nodes_freed = 2;
   double consolidation_traffic_tolerance = 0.10;
 
+  /// When true, rejected generation passes also surface in the
+  /// control-plane trace as kScheduleRejected events. Provenance records
+  /// (obs::ProvenanceLog) are always kept regardless; this flag only
+  /// controls the trace stream, and is off by default so existing trace
+  /// dumps are byte-identical.
+  bool trace_decisions = false;
+
   /// Initial scheduling algorithm (registry name).
   std::string algorithm = "traffic-aware";
 

@@ -14,7 +14,8 @@ IEstimator& MetricsDb::estimator(
 
 void MetricsDb::set_alpha(double alpha) {
   factory_ = make_ewma_factory(alpha);
-  for (auto* map : {&loads_, &queues_, &node_loads_, &traffic_}) {
+  for (auto* map : {&loads_, &queues_, &node_loads_, &node_queues_,
+                    &traffic_}) {
     for (auto& [key, est] : *map) {
       if (auto* ewma = dynamic_cast<EwmaEstimator*>(est.get());
           ewma != nullptr) {

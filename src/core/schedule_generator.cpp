@@ -66,13 +66,61 @@ sched::SchedulerInput ScheduleGenerator::build_input() const {
 }
 
 bool ScheduleGenerator::generate_now(bool overload_triggered) {
-  ++generations_;
+  return generate_pass(overload_triggered,
+                       overload_triggered ? obs::DecisionTrigger::kOverload
+                                          : obs::DecisionTrigger::kPeriodic);
+}
+
+bool ScheduleGenerator::finish(obs::DecisionRecord rec) {
+  const bool published = rec.outcome == obs::DecisionOutcome::kPublished;
+  if (!published && config_.trace_decisions) {
+    cluster_.trace_log().record(
+        {rec.time, trace::EventKind::kScheduleRejected, -1, -1, -1, 0,
+         std::string(obs::to_string(rec.outcome)) + ": " + rec.reason});
+  }
+  cluster_.provenance().record(std::move(rec));
+  return published;
+}
+
+bool ScheduleGenerator::generate_pass(bool overload_triggered,
+                                      obs::DecisionTrigger trigger) {
+  obs::DecisionRecord rec;
+  rec.time = cluster_.sim().now();
+  rec.trigger = trigger;
+  rec.algorithm = algorithm_->name();
+  rec.min_improvement = config_.min_improvement;
+
   auto input = build_input();
-  if (input.executors.empty()) return false;
+  rec.executors = static_cast<int>(input.executors.size());
+  for (sched::NodeId n = 0;
+       n < static_cast<sched::NodeId>(input.node_capacity_mhz.size()); ++n) {
+    rec.node_loads.push_back(
+        {n, db_.node_load(n),
+         input.node_capacity_mhz[static_cast<std::size_t>(n)]});
+  }
+
+  // An empty pass (no assigned topologies) is not a generation: counting
+  // one would skew the publishes/generations ratio on an idle cluster.
+  if (input.executors.empty()) {
+    rec.outcome = obs::DecisionOutcome::kEmptyInput;
+    rec.reason = "no assigned topologies to schedule";
+    return finish(std::move(rec));
+  }
+  ++generations_;
 
   auto result = algorithm_->schedule(input);
+  rec.count_relaxed = result.count_relaxed;
+  rec.capacity_relaxed = result.capacity_relaxed;
+  int unplaced = 0;
   for (const auto& e : input.executors) {
-    if (!result.assignment.contains(e.task)) return false;  // incomplete
+    if (!result.assignment.contains(e.task)) ++unplaced;
+  }
+  if (unplaced > 0) {
+    rec.outcome = obs::DecisionOutcome::kIncompleteAssignment;
+    rec.reason = std::to_string(unplaced) + " of " +
+                 std::to_string(input.executors.size()) +
+                 " executors left unplaced by " + algorithm_->name();
+    return finish(std::move(rec));
   }
 
   // Current placement (union over topologies) for comparison.
@@ -82,23 +130,45 @@ bool ScheduleGenerator::generate_now(bool overload_triggered) {
       current.emplace(task, slot);
     }
   }
-  if (result.assignment == current) return false;  // nothing to do
 
-  if (!overload_triggered && !current.empty()) {
-    const double cur_traffic = sched::internode_traffic(input, current);
-    const double new_traffic =
+  // Evaluate the publication gate's inputs whenever a current placement
+  // exists — even for overload passes that bypass the gate — so every
+  // DecisionRecord carries the traffic comparison it was (or would have
+  // been) judged on. Pure arithmetic: no RNG, no events.
+  if (!current.empty()) {
+    rec.current_traffic = sched::internode_traffic(input, current);
+    rec.proposed_traffic =
         sched::internode_traffic(input, result.assignment);
-    const bool traffic_win =
-        new_traffic < cur_traffic * (1.0 - config_.min_improvement);
-    const int freed = sched::nodes_used(input, current) -
-                      sched::nodes_used(input, result.assignment);
-    const bool consolidation_win =
-        freed >= config_.consolidation_min_nodes_freed &&
-        new_traffic <=
-            cur_traffic * (1.0 + config_.consolidation_traffic_tolerance);
-    if (!traffic_win && !consolidation_win) {
-      return false;  // reassignment cost not justified
+    if (rec.current_traffic > 0.0) {
+      rec.improvement =
+          (rec.current_traffic - rec.proposed_traffic) / rec.current_traffic;
     }
+    rec.nodes_freed = sched::nodes_used(input, current) -
+                      sched::nodes_used(input, result.assignment);
+    rec.traffic_win =
+        rec.proposed_traffic <
+        rec.current_traffic * (1.0 - config_.min_improvement);
+    rec.consolidation_win =
+        rec.nodes_freed >= config_.consolidation_min_nodes_freed &&
+        rec.proposed_traffic <=
+            rec.current_traffic *
+                (1.0 + config_.consolidation_traffic_tolerance);
+  }
+
+  if (result.assignment == current) {
+    rec.outcome = obs::DecisionOutcome::kNoChange;
+    rec.reason = "proposal identical to the current placement";
+    return finish(std::move(rec));
+  }
+
+  if (!overload_triggered && !current.empty() && !rec.traffic_win &&
+      !rec.consolidation_win) {
+    rec.outcome = obs::DecisionOutcome::kNoWin;
+    rec.reason = "reassignment cost not justified: improvement below "
+                 "min_improvement and " +
+                 std::to_string(rec.nodes_freed) + " nodes freed < " +
+                 std::to_string(config_.consolidation_min_nodes_freed);
+    return finish(std::move(rec));
   }
 
   const auto version = cluster_.nimbus().next_version();
@@ -112,7 +182,16 @@ bool ScheduleGenerator::generate_now(bool overload_triggered) {
   ++publishes_;
   last_publish_time_ = cluster_.sim().now();
   overload_streak_ = 0;
-  return true;
+  rec.outcome = obs::DecisionOutcome::kPublished;
+  rec.version = version;
+  rec.reason = overload_triggered
+                   ? "published: overload/recovery pass bypasses hysteresis"
+                   : (current.empty() ? "published: first placement"
+                                      : (rec.traffic_win
+                                             ? "published: traffic win"
+                                             : "published: consolidation "
+                                               "win"));
+  return finish(std::move(rec));
 }
 
 void ScheduleGenerator::overload_check() {
@@ -131,7 +210,8 @@ void ScheduleGenerator::overload_check() {
     if (dead_assignment) break;
   }
   if (dead_assignment) {
-    generate_now(/*overload_triggered=*/true);
+    generate_pass(/*overload_triggered=*/true,
+                  obs::DecisionTrigger::kRecovery);
     return;
   }
 

@@ -19,6 +19,7 @@
 
 #include "core/config.h"
 #include "core/metrics_db.h"
+#include "obs/provenance.h"
 #include "runtime/cluster.h"
 #include "sched/scheduler.h"
 #include "sim/simulation.h"
@@ -41,7 +42,8 @@ class ScheduleGenerator {
 
   /// Runs one generation pass immediately. `overload_triggered` bypasses
   /// the min-improvement hysteresis. Returns true if a new schedule was
-  /// published.
+  /// published. Every pass — published or rejected — records one
+  /// DecisionRecord in the cluster's ProvenanceLog explaining the outcome.
   bool generate_now(bool overload_triggered = false);
 
   /// --- Hot-swap / on-the-fly tuning. ---
@@ -64,6 +66,10 @@ class ScheduleGenerator {
  private:
   void overload_check();
   [[nodiscard]] sched::SchedulerInput build_input() const;
+  bool generate_pass(bool overload_triggered, obs::DecisionTrigger trigger);
+  /// Records the pass's DecisionRecord (and, with trace_decisions on, a
+  /// kScheduleRejected trace event for rejections). Returns "published?".
+  bool finish(obs::DecisionRecord rec);
 
   runtime::Cluster& cluster_;
   MetricsDb& db_;

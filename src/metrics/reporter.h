@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "metrics/timeseries.h"
+#include "obs/provenance.h"
+#include "obs/tuple_trace.h"
 
 namespace tstorm::metrics {
 
@@ -44,5 +46,20 @@ struct FlowGaugeRow {
 /// window). Rows with zero depth and zero shed are elided.
 void print_flow_gauges(std::ostream& os, const std::vector<FlowGaugeRow>& rows,
                        double shed_rate_per_s);
+
+/// --- Observability summaries. ---
+
+/// Scheduling decisions: totals by outcome and trigger, then the most
+/// recent `tail` records as one line each (why the scheduler last acted —
+/// or declined to).
+void print_decision_summary(std::ostream& os, const obs::ProvenanceLog& log,
+                            std::size_t tail = 5);
+
+/// Sampled tuple traces: how many roots were traced, completion split, and
+/// the mean end-to-end latency breakdown (queue wait / execute / network /
+/// ack wait) over finished roots — the Fig. 3 "where does latency come
+/// from" answer, per run.
+void print_tuple_trace_summary(std::ostream& os,
+                               const obs::TupleTraceCollector& tuples);
 
 }  // namespace tstorm::metrics

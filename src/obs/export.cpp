@@ -1,0 +1,167 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace tstorm::obs {
+
+namespace {
+
+/// Scheduling/control instants live on this synthetic "process" id, well
+/// away from real node ids.
+constexpr int kSchedulerPid = 9999;
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+double us(sim::Time t) { return t * 1e6; }
+
+std::string hex_id(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void write_decision_args(std::ostream& os, const DecisionRecord& r) {
+  os << "{\"seq\":" << r.seq << ",\"trigger\":\"" << to_string(r.trigger)
+     << "\",\"outcome\":\"" << to_string(r.outcome) << "\",\"algorithm\":\""
+     << json_escape(r.algorithm) << "\",\"executors\":" << r.executors
+     << ",\"current_traffic\":" << fmt(r.current_traffic)
+     << ",\"proposed_traffic\":" << fmt(r.proposed_traffic)
+     << ",\"improvement\":" << fmt(r.improvement)
+     << ",\"min_improvement\":" << fmt(r.min_improvement)
+     << ",\"nodes_freed\":" << r.nodes_freed << ",\"traffic_win\":"
+     << (r.traffic_win ? "true" : "false") << ",\"consolidation_win\":"
+     << (r.consolidation_win ? "true" : "false") << ",\"count_relaxed\":"
+     << (r.count_relaxed ? "true" : "false") << ",\"capacity_relaxed\":"
+     << (r.capacity_relaxed ? "true" : "false") << ",\"version\":"
+     << r.version << ",\"reason\":\"" << json_escape(r.reason)
+     << "\",\"node_loads\":[";
+  for (std::size_t i = 0; i < r.node_loads.size(); ++i) {
+    const NodeLoadSample& n = r.node_loads[i];
+    if (i > 0) os << ',';
+    os << "{\"node\":" << n.node << ",\"load_mhz\":" << fmt(n.load_mhz)
+       << ",\"capacity_mhz\":" << fmt(n.capacity_mhz) << "}";
+  }
+  os << "]}";
+}
+
+void write_span_event(std::ostream& os, const RootTrace& root, const Span& s,
+                      bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << to_string(s.kind);
+  if (s.kind == SpanKind::kNetworkHop) os << " t" << s.src << "->t" << s.task;
+  os << "\",\"cat\":\"tuple\",\"ph\":\"X\",\"ts\":" << fmt(us(s.t0))
+     << ",\"dur\":" << fmt(us(s.t1 - s.t0)) << ",\"pid\":"
+     << (s.node >= 0 ? s.node : kSchedulerPid) << ",\"tid\":"
+     << (s.task >= 0 ? s.task : 0) << ",\"args\":{\"root\":\""
+     << hex_id(root.root_id) << "\",\"spout\":" << root.spout
+     << ",\"attempt\":" << root.attempt << "}}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const ProvenanceLog& provenance,
+                        const TupleTraceCollector& tuples,
+                        const trace::TraceLog* control) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // Process metadata: name the scheduler track and each node seen.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSchedulerPid
+     << ",\"tid\":0,\"args\":{\"name\":\"scheduler\"}}";
+  first = false;
+
+  for (const DecisionRecord& r : provenance.records()) {
+    os << ",\n{\"name\":\"decision: " << to_string(r.outcome)
+       << "\",\"cat\":\"schedule\",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+       << fmt(us(r.time)) << ",\"pid\":" << kSchedulerPid
+       << ",\"tid\":0,\"args\":";
+    write_decision_args(os, r);
+    os << "}";
+  }
+
+  if (control != nullptr) {
+    for (const trace::Event& e : control->events()) {
+      os << ",\n{\"name\":\"" << trace::to_string(e.kind)
+         << "\",\"cat\":\"control\",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+         << fmt(us(e.time)) << ",\"pid\":" << kSchedulerPid
+         << ",\"tid\":1,\"args\":{\"topology\":" << e.topology
+         << ",\"node\":" << e.node << ",\"slot\":" << e.slot
+         << ",\"version\":" << e.version << ",\"detail\":\""
+         << json_escape(e.detail) << "\"}}";
+    }
+  }
+
+  for (const RootTrace& root : tuples.finished()) {
+    for (const Span& s : root.spans) write_span_event(os, root, s, first);
+  }
+  os << "\n]}\n";
+}
+
+void write_jsonl(std::ostream& os, const ProvenanceLog& provenance,
+                 const TupleTraceCollector& tuples) {
+  for (const DecisionRecord& r : provenance.records()) {
+    os << "{\"type\":\"decision\",\"time\":" << fmt(r.time) << ",\"record\":";
+    write_decision_args(os, r);
+    os << "}\n";
+  }
+  for (const RootTrace& root : tuples.finished()) {
+    os << "{\"type\":\"root\",\"root\":\"" << hex_id(root.root_id)
+       << "\",\"spout\":" << root.spout << ",\"attempt\":" << root.attempt
+       << ",\"emit_time\":" << fmt(root.emit_time) << ",\"end_time\":"
+       << fmt(root.end_time) << ",\"completed\":"
+       << (root.completed ? "true" : "false") << ",\"queue_wait_s\":"
+       << fmt(root.queue_wait_s) << ",\"execute_s\":" << fmt(root.execute_s)
+       << ",\"network_s\":" << fmt(root.network_s) << ",\"ack_wait_s\":"
+       << fmt(root.ack_wait_s) << ",\"spans\":[";
+    for (std::size_t i = 0; i < root.spans.size(); ++i) {
+      const Span& s = root.spans[i];
+      if (i > 0) os << ',';
+      os << "{\"kind\":\"" << to_string(s.kind) << "\",\"task\":" << s.task
+         << ",\"src\":" << s.src << ",\"node\":" << s.node << ",\"t0\":"
+         << fmt(s.t0) << ",\"t1\":" << fmt(s.t1) << "}";
+    }
+    os << "]}\n";
+  }
+}
+
+}  // namespace tstorm::obs

@@ -1,0 +1,37 @@
+// Trace exporters. Two machine formats plus the text summaries that live
+// in metrics::reporter:
+//
+//   * Chrome trace-event JSON — load the file in chrome://tracing or
+//     https://ui.perfetto.dev: tuple spans appear as nested "X" slices on
+//     one track per executor (process = worker node), scheduling decisions
+//     and control-plane events as instants on a dedicated "scheduler"
+//     process.
+//   * JSONL — one self-contained JSON object per line ("decision" /
+//     "root"), for jq-style ad-hoc analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/provenance.h"
+#include "obs/tuple_trace.h"
+#include "trace/trace.h"
+
+namespace tstorm::obs {
+
+/// Writes one Chrome trace-event JSON document. `control` may be null;
+/// when given, its control-plane events are included as instant events.
+void write_chrome_trace(std::ostream& os, const ProvenanceLog& provenance,
+                        const TupleTraceCollector& tuples,
+                        const trace::TraceLog* control = nullptr);
+
+/// Writes one JSON object per line: every provenance record
+/// ({"type":"decision",...}) then every finished root trace
+/// ({"type":"root",...,"spans":[...]}).
+void write_jsonl(std::ostream& os, const ProvenanceLog& provenance,
+                 const TupleTraceCollector& tuples);
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace tstorm::obs

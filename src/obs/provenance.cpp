@@ -1,0 +1,100 @@
+#include "obs/provenance.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tstorm::obs {
+
+const char* to_string(DecisionTrigger trigger) {
+  switch (trigger) {
+    case DecisionTrigger::kPeriodic:
+      return "periodic";
+    case DecisionTrigger::kOverload:
+      return "overload";
+    case DecisionTrigger::kRecovery:
+      return "recovery";
+    case DecisionTrigger::kInitial:
+      return "initial";
+    case DecisionTrigger::kManual:
+      return "manual";
+  }
+  return "?";
+}
+
+const char* to_string(DecisionOutcome outcome) {
+  switch (outcome) {
+    case DecisionOutcome::kPublished:
+      return "published";
+    case DecisionOutcome::kEmptyInput:
+      return "empty-input";
+    case DecisionOutcome::kIncompleteAssignment:
+      return "incomplete-assignment";
+    case DecisionOutcome::kNoChange:
+      return "no-change";
+    case DecisionOutcome::kNoWin:
+      return "no-win";
+    case DecisionOutcome::kApplyRejected:
+      return "apply-rejected";
+  }
+  return "?";
+}
+
+std::string format_decision(const DecisionRecord& r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << "[" << std::setw(8) << r.time
+     << "s] decision#" << r.seq << " " << to_string(r.trigger) << " -> "
+     << to_string(r.outcome);
+  if (!r.algorithm.empty()) os << " algo=" << r.algorithm;
+  if (r.executors > 0) os << " executors=" << r.executors;
+  if (r.current_traffic >= 0) {
+    os << " traffic=" << std::setprecision(2) << r.current_traffic << "->"
+       << r.proposed_traffic << " (improvement "
+       << std::setprecision(1) << 100.0 * r.improvement << "% vs "
+       << 100.0 * r.min_improvement << "% required)";
+  }
+  if (r.nodes_freed != 0) os << " nodes_freed=" << r.nodes_freed;
+  if (r.count_relaxed) os << " count-relaxed";
+  if (r.capacity_relaxed) os << " capacity-relaxed";
+  if (r.version > 0) os << " version=" << r.version;
+  if (!r.reason.empty()) os << " (" << r.reason << ")";
+  return os.str();
+}
+
+std::uint64_t ProvenanceLog::record(DecisionRecord r) {
+  r.seq = total_++;
+  if (r.outcome == DecisionOutcome::kPublished && r.version > 0) {
+    published_versions_.insert(r.version);
+  }
+  const std::uint64_t seq = r.seq;
+  records_.push_back(std::move(r));
+  while (records_.size() > capacity_) records_.pop_front();
+  return seq;
+}
+
+std::vector<DecisionRecord> ProvenanceLog::of_outcome(
+    DecisionOutcome outcome) const {
+  std::vector<DecisionRecord> out;
+  for (const auto& r : records_) {
+    if (r.outcome == outcome) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<DecisionRecord> ProvenanceLog::of_trigger(
+    DecisionTrigger trigger) const {
+  std::vector<DecisionRecord> out;
+  for (const auto& r : records_) {
+    if (r.trigger == trigger) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t ProvenanceLog::count(DecisionOutcome outcome) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+}  // namespace tstorm::obs

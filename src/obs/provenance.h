@@ -1,0 +1,142 @@
+// Schedule provenance: the decision-level introspection layer. Every pass
+// of the schedule generator — published *or* rejected — and every Nimbus
+// rebalance produces one DecisionRecord explaining *why* the scheduler did
+// what it did: per-node load vs scheduler-visible capacity, current vs
+// proposed inter-node traffic, win margins against the hysteresis
+// thresholds, relaxation flags, and a machine-readable outcome for the
+// silent paths that used to be a bare `return false`. Records live in a
+// bounded ring buffer; published assignment versions are additionally kept
+// in a tiny persistent set so the chaos auditor can match every
+// schedule-applied trace event to a decision even after ring eviction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/types.h"
+#include "sim/simulation.h"
+
+namespace tstorm::obs {
+
+/// What caused a scheduling pass to run.
+enum class DecisionTrigger : std::uint8_t {
+  kPeriodic,  // the generation-period timer (or a direct generate_now call)
+  kOverload,  // the overload watchdog (queue+load gate or dead assignment)
+  kRecovery,  // Nimbus failure detector auto-rebalance of a stranded topology
+  kInitial,   // initial scheduling at topology submission
+  kManual,    // explicit rebalance/apply call (operator or test)
+};
+
+/// How the pass ended. Exactly one outcome per pass.
+enum class DecisionOutcome : std::uint8_t {
+  kPublished,             // a new schedule was published/applied
+  kEmptyInput,            // no assigned topologies to schedule
+  kIncompleteAssignment,  // the algorithm left executors unplaced
+  kNoChange,              // proposal identical to the current placement
+  kNoWin,                 // neither traffic nor consolidation win justified it
+  kApplyRejected,         // Nimbus refused the placement (conflict/stale)
+};
+
+const char* to_string(DecisionTrigger trigger);
+const char* to_string(DecisionOutcome outcome);
+
+/// One node's estimated load against the capacity the scheduler saw.
+struct NodeLoadSample {
+  sched::NodeId node = -1;
+  double load_mhz = 0;
+  double capacity_mhz = 0;
+};
+
+struct DecisionRecord {
+  /// Monotone per-log sequence number, assigned by ProvenanceLog::record.
+  std::uint64_t seq = 0;
+  sim::Time time = 0;
+  DecisionTrigger trigger = DecisionTrigger::kPeriodic;
+  DecisionOutcome outcome = DecisionOutcome::kNoChange;
+  /// Scheduling algorithm the pass ran (empty for raw placement applies).
+  std::string algorithm;
+  /// Executors in the scheduler input.
+  int executors = 0;
+  /// Estimated per-node load vs the scheduler-visible capacity
+  /// (capacity_fraction already applied). Empty for passes that never
+  /// consulted the metrics database (Nimbus rebalances).
+  std::vector<NodeLoadSample> node_loads;
+  /// Inter-node traffic (tuples/s) under the current / proposed placement;
+  /// -1 where not evaluated (no current placement).
+  double current_traffic = -1;
+  double proposed_traffic = -1;
+  /// Fractional traffic reduction of the proposal ((cur-new)/cur) and the
+  /// min_improvement threshold it was judged against.
+  double improvement = 0;
+  double min_improvement = 0;
+  /// Worker nodes the proposal would free, and the two win flags of the
+  /// publication gate (Algorithm 1's hysteresis).
+  int nodes_freed = 0;
+  bool traffic_win = false;
+  bool consolidation_win = false;
+  /// Constraint relaxations the algorithm needed (ScheduleResult flags).
+  bool count_relaxed = false;
+  bool capacity_relaxed = false;
+  /// Assignment version, > 0 only when outcome == kPublished.
+  sched::AssignmentVersion version = 0;
+  /// Human-readable explanation (always set, including rejections).
+  std::string reason;
+};
+
+/// One decision as a single log line.
+std::string format_decision(const DecisionRecord& r);
+
+/// Bounded ring buffer of decisions with query helpers. Not thread-safe
+/// (single-threaded simulation). Published assignment versions survive
+/// ring eviction in a side set (8 bytes per publish) so provenance checks
+/// never false-positive on long runs.
+class ProvenanceLog {
+ public:
+  explicit ProvenanceLog(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Assigns the record's sequence number and stores it; returns the seq.
+  std::uint64_t record(DecisionRecord r);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] const std::deque<DecisionRecord>& records() const {
+    return records_;
+  }
+  /// Most recent record; nullptr when empty.
+  [[nodiscard]] const DecisionRecord* last() const {
+    return records_.empty() ? nullptr : &records_.back();
+  }
+
+  [[nodiscard]] std::vector<DecisionRecord> of_outcome(
+      DecisionOutcome outcome) const;
+  [[nodiscard]] std::vector<DecisionRecord> of_trigger(
+      DecisionTrigger trigger) const;
+  [[nodiscard]] std::size_t count(DecisionOutcome outcome) const;
+
+  /// True if a decision with this assignment version was ever published
+  /// (survives ring eviction; the chaos auditor's provenance check).
+  [[nodiscard]] bool has_version(sched::AssignmentVersion version) const {
+    return published_versions_.contains(version);
+  }
+  [[nodiscard]] std::uint64_t published_total() const {
+    return published_versions_.size();
+  }
+
+  void clear() {
+    records_.clear();
+    published_versions_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<DecisionRecord> records_;
+  std::unordered_set<sched::AssignmentVersion> published_versions_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tstorm::obs

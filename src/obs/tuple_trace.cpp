@@ -1,0 +1,112 @@
+#include "obs/tuple_trace.h"
+
+#include <algorithm>
+
+namespace tstorm::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kEmit:
+      return "emit";
+    case SpanKind::kQueueWait:
+      return "queue-wait";
+    case SpanKind::kExecute:
+      return "execute";
+    case SpanKind::kNetworkHop:
+      return "network-hop";
+    case SpanKind::kAckWait:
+      return "ack-wait";
+  }
+  return "?";
+}
+
+TupleTraceCollector::TupleTraceCollector(TupleTraceConfig config,
+                                         std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.max_spans_per_root == 0) config_.max_spans_per_root = 1;
+}
+
+bool TupleTraceCollector::should_sample() {
+  if (config_.sample_rate >= 1.0) return true;
+  return rng_.uniform() < config_.sample_rate;
+}
+
+void TupleTraceCollector::begin_root(std::uint64_t root_id,
+                                     sched::TaskId spout, int attempt,
+                                     sim::Time now) {
+  auto [it, inserted] = active_.try_emplace(root_id);
+  if (!inserted) return;
+  RootTrace& t = it->second;
+  t.root_id = root_id;
+  t.spout = spout;
+  t.attempt = attempt;
+  t.emit_time = now;
+  ++sampled_total_;
+}
+
+void TupleTraceCollector::add_span(std::uint64_t root_id, Span span) {
+  auto it = active_.find(root_id);
+  if (it == active_.end()) return;
+  RootTrace& t = it->second;
+  const double dur = std::max(0.0, span.t1 - span.t0);
+  switch (span.kind) {
+    case SpanKind::kQueueWait:
+      t.queue_wait_s += dur;
+      break;
+    case SpanKind::kExecute:
+      t.execute_s += dur;
+      break;
+    case SpanKind::kNetworkHop:
+      t.network_s += dur;
+      break;
+    case SpanKind::kAckWait:
+      t.ack_wait_s += dur;
+      break;
+    case SpanKind::kEmit:
+      break;
+  }
+  if (t.spans.size() >= config_.max_spans_per_root) {
+    ++spans_truncated_;
+    return;
+  }
+  t.spans.push_back(span);
+}
+
+void TupleTraceCollector::finish_root(std::uint64_t root_id, sim::Time now,
+                                      bool completed) {
+  auto it = active_.find(root_id);
+  if (it == active_.end()) return;
+  RootTrace t = std::move(it->second);
+  active_.erase(it);
+  t.end_time = now;
+  t.completed = completed;
+  // Ack wait: from the end of the last observed phase to the ack (or
+  // timeout) — the tail the spout could not see.
+  sim::Time last = t.emit_time;
+  for (const Span& s : t.spans) last = std::max(last, s.t1);
+  if (now > last) {
+    Span ack;
+    ack.kind = SpanKind::kAckWait;
+    ack.task = t.spout;
+    ack.t0 = last;
+    ack.t1 = now;
+    t.ack_wait_s += now - last;
+    if (t.spans.size() < config_.max_spans_per_root) {
+      t.spans.push_back(ack);
+    } else {
+      ++spans_truncated_;
+    }
+  }
+  finished_.push_back(std::move(t));
+  while (finished_.size() > config_.capacity) finished_.pop_front();
+}
+
+void TupleTraceCollector::clear() {
+  active_.clear();
+  finished_.clear();
+  sampled_total_ = 0;
+  spans_truncated_ = 0;
+}
+
+}  // namespace tstorm::obs

@@ -1,0 +1,133 @@
+// Sampled per-tuple causal tracing. A fraction of root emissions (the
+// sample rate) is traced end to end: the emit, every queue wait, every
+// execute, every network hop of the whole tuple tree, and the final ack
+// wait, with a root-level latency breakdown (where did the time go —
+// queues, CPU, or the wire?). The paper's Fig. 3 argument — queueing, not
+// processing, dominates latency under bad placements — becomes directly
+// observable per tuple instead of inferred from averages.
+//
+// Determinism: the sampling decision draws from a private RNG substream
+// (never the cluster's main stream), and with sample_rate == 0 the
+// collector is fully inert — no draws, no state, no simulation events —
+// so a run with sampling disabled is byte-identical to one without the
+// collector compiled in at all.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/types.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace tstorm::obs {
+
+/// One phase of a traced tuple tree's life.
+enum class SpanKind : std::uint8_t {
+  kEmit,        // root emission at the spout (instant)
+  kQueueWait,   // envelope waiting in an executor's input queue
+  kExecute,     // envelope in service at an executor
+  kNetworkHop,  // envelope in flight between two executors
+  kAckWait,     // end of the last observed phase until the ack/timeout
+};
+
+const char* to_string(SpanKind kind);
+
+struct Span {
+  SpanKind kind = SpanKind::kEmit;
+  /// Executor that owned the phase (the receiver for network hops).
+  sched::TaskId task = -1;
+  /// Sending task for network hops, -1 otherwise.
+  sched::TaskId src = -1;
+  sched::NodeId node = -1;
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+};
+
+/// Everything recorded about one sampled root tuple.
+struct RootTrace {
+  std::uint64_t root_id = 0;
+  sched::TaskId spout = -1;
+  int attempt = 0;
+  sim::Time emit_time = 0;
+  sim::Time end_time = 0;
+  /// True when the root was fully acked (on time), false when it timed out.
+  bool completed = false;
+  std::vector<Span> spans;
+  /// Root-level latency breakdown: summed span durations by phase. The
+  /// tree is concurrent, so the sums can exceed end-to-end latency — they
+  /// answer "where did tuple-seconds go", not "what was the critical path".
+  double queue_wait_s = 0;
+  double execute_s = 0;
+  double network_s = 0;
+  double ack_wait_s = 0;
+};
+
+struct TupleTraceConfig {
+  /// Fraction of root emissions traced; 0 disables the collector entirely.
+  double sample_rate = 0.0;
+  /// Finished root traces retained (ring buffer).
+  std::size_t capacity = 2048;
+  /// Span cap per root: a runaway tree stops accumulating spans (the root
+  /// record still finishes; truncation is counted).
+  std::size_t max_spans_per_root = 512;
+};
+
+/// Collects spans for sampled roots. Not thread-safe (single-threaded
+/// simulation). All hooks are no-ops unless the root was sampled at
+/// emission, so the hot path pays one `enabled()` branch when disabled
+/// and one hash lookup per envelope event when enabled.
+class TupleTraceCollector {
+ public:
+  TupleTraceCollector(TupleTraceConfig config, std::uint64_t seed);
+
+  [[nodiscard]] bool enabled() const { return config_.sample_rate > 0.0; }
+  [[nodiscard]] const TupleTraceConfig& config() const { return config_; }
+
+  /// Draws the sampling decision for one root emission from the private
+  /// substream. Only call when enabled() — callers guard so that a
+  /// disabled collector consumes no randomness at all.
+  [[nodiscard]] bool should_sample();
+
+  /// Starts tracing a root. Idempotent per root id.
+  void begin_root(std::uint64_t root_id, sched::TaskId spout, int attempt,
+                  sim::Time now);
+
+  /// True while the root is actively traced (begun, not yet finished).
+  [[nodiscard]] bool sampled(std::uint64_t root_id) const {
+    return active_.contains(root_id);
+  }
+
+  /// Appends one span to an active root (no-op for unsampled roots).
+  void add_span(std::uint64_t root_id, Span span);
+
+  /// Finalizes a root: synthesizes the ack-wait span, moves the trace to
+  /// the finished ring. No-op if the root is not active (e.g. a late ack
+  /// after the timeout already finished it).
+  void finish_root(std::uint64_t root_id, sim::Time now, bool completed);
+
+  [[nodiscard]] const std::deque<RootTrace>& finished() const {
+    return finished_;
+  }
+  [[nodiscard]] std::size_t active() const { return active_.size(); }
+  /// Roots ever sampled / spans dropped at the per-root cap.
+  [[nodiscard]] std::uint64_t sampled_total() const { return sampled_total_; }
+  [[nodiscard]] std::uint64_t spans_truncated() const {
+    return spans_truncated_;
+  }
+
+  void clear();
+
+ private:
+  TupleTraceConfig config_;
+  /// Private substream: sampling never perturbs workload randomness.
+  sim::Rng rng_;
+  std::unordered_map<std::uint64_t, RootTrace> active_;
+  std::deque<RootTrace> finished_;
+  std::uint64_t sampled_total_ = 0;
+  std::uint64_t spans_truncated_ = 0;
+};
+
+}  // namespace tstorm::obs

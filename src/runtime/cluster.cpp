@@ -91,6 +91,8 @@ ClusterConfig validated(ClusterConfig config) {
                 sim::PeriodicTask::kMinPeriod, "flow.throttle_refresh_period");
   config.flow.shed_probability = clamp_range(
       config.flow.shed_probability, 0.0, 1.0, "flow.shed_probability");
+  config.obs.tuple_sample_rate = clamp_range(
+      config.obs.tuple_sample_rate, 0.0, 1.0, "obs.tuple_sample_rate");
   return config;
 }
 
@@ -105,6 +107,14 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
                // seed: enabling network faults never perturbs the main RNG
                // stream (edge ids, workloads).
                config_.seed ^ 0x6e65742d6661756cULL),
+      provenance_(config_.obs.provenance_capacity),
+      tuple_trace_(
+          obs::TupleTraceConfig{config_.obs.tuple_sample_rate,
+                                config_.obs.tuple_trace_capacity,
+                                /*max_spans_per_root=*/512},
+          // Dedicated sampling substream: tracing never perturbs the main
+          // RNG stream (edge ids, workloads).
+          config_.seed ^ 0x6f62732d74726163ULL),
       flow_(sim, config_.flow, coordination_, trace_, config_.seed),
       tracker_(*this, recorder_),
       nimbus_(*this),
@@ -393,6 +403,14 @@ void Cluster::send(Executor& from, sched::TaskId dst, Envelope env) {
   const auto dst_node = target->node_id();
   const auto bytes = env.bytes();
   const auto version = env.version;
+
+  // Tuple tracing: stamp the network-hop start on envelopes of sampled
+  // roots (acks included — acker traffic is part of the causal tree). The
+  // receiving executor closes the hop span and starts the queue wait.
+  if (tuple_trace_.enabled() && env.root_id != 0 &&
+      tuple_trace_.sampled(env.root_id)) {
+    env.trace_t0 = sim_.now();
+  }
 
   // Crowding penalty: a message crossing a process boundary is handled by
   // sender/receiver threads that contend with every other thread on their

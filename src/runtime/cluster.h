@@ -14,6 +14,8 @@
 #include "metrics/completion.h"
 #include "metrics/reporter.h"
 #include "net/network.h"
+#include "obs/provenance.h"
+#include "obs/tuple_trace.h"
 #include "runtime/config.h"
 #include "runtime/coordination.h"
 #include "runtime/envelope.h"
@@ -88,6 +90,19 @@ class Cluster {
   }
   /// Control-plane event trace (see trace/trace.h).
   [[nodiscard]] trace::TraceLog& trace_log() { return trace_; }
+  /// Schedule provenance: one DecisionRecord per scheduling pass,
+  /// published or rejected (see obs/provenance.h).
+  [[nodiscard]] obs::ProvenanceLog& provenance() { return provenance_; }
+  [[nodiscard]] const obs::ProvenanceLog& provenance() const {
+    return provenance_;
+  }
+  /// Sampled per-tuple causal tracing (config_.obs.tuple_sample_rate).
+  [[nodiscard]] obs::TupleTraceCollector& tuple_trace() {
+    return tuple_trace_;
+  }
+  [[nodiscard]] const obs::TupleTraceCollector& tuple_trace() const {
+    return tuple_trace_;
+  }
   /// Flow control: bounded queues, backpressure, shedding (config_.flow).
   [[nodiscard]] flow::FlowController& flow() { return flow_; }
   [[nodiscard]] const flow::FlowController& flow() const { return flow_; }
@@ -204,6 +219,10 @@ class Cluster {
   // Declared before supervisors_ so it outlives them: workers emit
   // worker-stopped events from their destructors.
   trace::TraceLog trace_;
+  // Observability sinks. Like trace_, declared before supervisors_ so
+  // executor teardown hooks can still reach them.
+  obs::ProvenanceLog provenance_;
+  obs::TupleTraceCollector tuple_trace_;
   // After coordination_/trace_ (it holds references to both), before
   // supervisors_ (executors call flow().forget from shutdown).
   flow::FlowController flow_;

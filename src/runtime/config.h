@@ -4,6 +4,7 @@
 // Storm 0.8.2 timing constants (10 s supervisor sync, 30 s tuple timeout).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +85,23 @@ struct FlowConfig {
     return static_cast<int>(static_cast<double>(queue_capacity) *
                             low_watermark);
   }
+};
+
+/// --- Observability: schedule provenance + sampled tuple tracing. ---
+/// Provenance recording is always on (it is passive bookkeeping — no RNG,
+/// no simulation events). Tuple tracing is off by default; its sampling
+/// decisions draw from a private RNG substream, so enabling it never
+/// perturbs workload randomness, and with sample_rate == 0 the collector
+/// is fully inert.
+struct ObsConfig {
+  /// Fraction of root emissions traced end to end ([0,1]; 0 disables).
+  double tuple_sample_rate = 0.0;
+
+  /// Scheduling DecisionRecords retained (ring buffer).
+  std::size_t provenance_capacity = 1024;
+
+  /// Finished root traces retained (ring buffer).
+  std::size_t tuple_trace_capacity = 2048;
 };
 
 struct ClusterConfig {
@@ -193,6 +211,10 @@ struct ClusterConfig {
   /// Flow control (bounded queues + backpressure + shedding); off by
   /// default so existing runs are bit-identical.
   FlowConfig flow;
+
+  /// Observability (schedule provenance + sampled tuple tracing); tracing
+  /// off by default so existing runs are bit-identical.
+  ObsConfig obs;
 
   /// RNG seed for the whole simulation.
   std::uint64_t seed = 42;

@@ -34,6 +34,10 @@ struct Envelope {
   sched::AssignmentVersion version = 0;
   /// Replay attempt counter (kReplay).
   int attempt = 0;
+  /// Tuple tracing: start time of the envelope's current phase (network
+  /// hop, then queue wait, then execute); < 0 when the root is not
+  /// sampled. Stamped by Cluster::send, advanced by the executor hooks.
+  double trace_t0 = -1.0;
 
   /// Approximate wire size.
   [[nodiscard]] std::uint64_t bytes() const {

@@ -63,6 +63,14 @@ void Executor::deliver(Envelope env) {
     }
     return;
   }
+  // Tuple tracing: close the network-hop span, open the queue wait.
+  if (env.trace_t0 >= 0.0) {
+    const sim::Time now = cluster_.sim().now();
+    cluster_.tuple_trace().add_span(
+        env.root_id, obs::Span{obs::SpanKind::kNetworkHop, task(), env.src,
+                               node_id(), env.trace_t0, now});
+    env.trace_t0 = now;
+  }
   flow::FlowController& flow = cluster_.flow();
   if (flow.enabled() && env.kind == MsgKind::kData &&
       data_queued_ >= static_cast<std::size_t>(flow.capacity())) {
@@ -103,7 +111,15 @@ void Executor::begin_service() {
   WorkerNode& node = cluster_.node(node_id());
   node.service_started();
 
-  const Envelope& env = queue_.front();
+  Envelope& env = queue_.front();
+  // Tuple tracing: close the queue-wait span, open the execute phase.
+  if (env.trace_t0 >= 0.0) {
+    const sim::Time now = cluster_.sim().now();
+    cluster_.tuple_trace().add_span(
+        env.root_id, obs::Span{obs::SpanKind::kQueueWait, task(), -1,
+                               node_id(), env.trace_t0, now});
+    env.trace_t0 = now;
+  }
   const double mc = service_cost_mc(env);
   mega_cycles_ += mc;
 
@@ -129,6 +145,14 @@ void Executor::finish_service() {
   if (env.kind == MsgKind::kData) {
     --data_queued_;
     cluster_.flow().on_dequeue(this, info_.topology, data_queued_);
+  }
+  // Tuple tracing: close the execute span. Downstream sends made by
+  // process() open fresh network hops via Cluster::send.
+  if (env.trace_t0 >= 0.0) {
+    cluster_.tuple_trace().add_span(
+        env.root_id, obs::Span{obs::SpanKind::kExecute, task(), -1, node_id(),
+                               env.trace_t0, cluster_.sim().now()});
+    env.trace_t0 = -1.0;
   }
   process(env);
   if (running_ && !busy_ && !queue_.empty()) begin_service();
@@ -456,7 +480,22 @@ void SpoutExecutor::emit_root(std::shared_ptr<const topo::Tuple> tuple,
   }
   std::uint64_t root = cluster_.rng().next_u64();
   if (root == 0) root = 1;
+  // Root ids are drawn fresh per attempt, so a collision with a tracked
+  // entry (live, or failed-in-grace) is a birthday accident — but an
+  // overwrite would corrupt the tracker's pending/in-flight accounting.
+  // Re-draw until unique among tracked roots.
+  while (cluster_.tracker().contains(root)) {
+    root = cluster_.rng().next_u64();
+    if (root == 0) root = 1;
+  }
   cluster_.tracker().register_root(root, task(), tuple, attempt);
+  obs::TupleTraceCollector& tt = cluster_.tuple_trace();
+  if (tt.enabled() && tt.should_sample()) {
+    const sim::Time now = cluster_.sim().now();
+    tt.begin_root(root, task(), attempt, now);
+    tt.add_span(root, obs::Span{obs::SpanKind::kEmit, task(), -1, node_id(),
+                                now, now});
+  }
   const std::uint64_t xor_edges = emitter_->emit(tuple, root);
   Envelope init;
   init.kind = MsgKind::kAckInit;

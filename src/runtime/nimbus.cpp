@@ -10,6 +10,22 @@ namespace tstorm::runtime {
 
 Nimbus::Nimbus(Cluster& cluster) : cluster_(cluster) {}
 
+void Nimbus::record_decision(obs::DecisionTrigger trigger,
+                             obs::DecisionOutcome outcome,
+                             const std::string& algorithm, int executors,
+                             sched::AssignmentVersion version,
+                             std::string reason) {
+  obs::DecisionRecord rec;
+  rec.time = cluster_.sim().now();
+  rec.trigger = trigger;
+  rec.outcome = outcome;
+  rec.algorithm = algorithm;
+  rec.executors = executors;
+  rec.version = version;
+  rec.reason = std::move(reason);
+  cluster_.provenance().record(std::move(rec));
+}
+
 sched::AssignmentVersion Nimbus::next_version() {
   auto v = static_cast<sched::AssignmentVersion>(
       std::llround(cluster_.sim().now() * 1000.0));
@@ -25,6 +41,11 @@ void Nimbus::schedule_initial(sched::TopologyId topo,
   const auto tasks = cluster_.tasks_of(topo);
   for (sched::TaskId t : tasks) {
     if (!result.assignment.contains(t)) {
+      record_decision(obs::DecisionTrigger::kInitial,
+                      obs::DecisionOutcome::kIncompleteAssignment,
+                      algorithm.name(), static_cast<int>(tasks.size()), 0,
+                      "initial scheduler left tasks of topology " +
+                          std::to_string(topo) + " unplaced");
       throw std::runtime_error("initial scheduler '" + algorithm.name() +
                                "' left tasks of topology unplaced");
     }
@@ -32,6 +53,10 @@ void Nimbus::schedule_initial(sched::TopologyId topo,
   AssignmentRecord record;
   record.version = next_version();
   record.placement = std::move(result.assignment);
+  record_decision(obs::DecisionTrigger::kInitial,
+                  obs::DecisionOutcome::kPublished, algorithm.name(),
+                  static_cast<int>(tasks.size()), record.version,
+                  "initial placement of topology " + std::to_string(topo));
   cluster_.trace_log().record({cluster_.sim().now(),
                                trace::EventKind::kScheduleApplied, topo, -1,
                                -1, record.version,
@@ -41,17 +66,29 @@ void Nimbus::schedule_initial(sched::TopologyId topo,
 
 bool Nimbus::apply_placement(sched::TopologyId topo,
                              const sched::Placement& placement,
-                             sched::AssignmentVersion version) {
+                             sched::AssignmentVersion version,
+                             obs::DecisionTrigger trigger) {
   const auto tasks = cluster_.tasks_of(topo);
-  if (tasks.empty()) return false;
+  const auto reject = [&](const std::string& why) {
+    record_decision(trigger, obs::DecisionOutcome::kApplyRejected, {},
+                    static_cast<int>(tasks.size()), 0,
+                    "placement for topology " + std::to_string(topo) +
+                        " rejected: " + why);
+    return false;
+  };
+  if (tasks.empty()) return reject("unknown topology");
   const int total_slots = cluster_.total_slots();
 
   std::unordered_set<sched::SlotIndex> my_slots;
   sched::Placement filtered;
   for (sched::TaskId t : tasks) {
     auto it = placement.find(t);
-    if (it == placement.end()) return false;  // must cover the topology
-    if (it->second < 0 || it->second >= total_slots) return false;
+    if (it == placement.end()) {
+      return reject("does not cover task " + std::to_string(t));
+    }
+    if (it->second < 0 || it->second >= total_slots) {
+      return reject("slot out of range for task " + std::to_string(t));
+    }
     my_slots.insert(it->second);
     filtered.emplace(t, it->second);
   }
@@ -61,13 +98,26 @@ bool Nimbus::apply_placement(sched::TopologyId topo,
   for (const auto& [other, record] : cluster_.coordination().all()) {
     if (other == topo) continue;
     for (const auto& [task, slot] : record.placement) {
-      if (my_slots.contains(slot)) return false;
+      if (my_slots.contains(slot)) {
+        return reject("slot " + std::to_string(slot) +
+                      " already owned by topology " + std::to_string(other));
+      }
     }
   }
 
   const auto* current = cluster_.coordination().get(topo);
-  if (current != nullptr && version <= current->version) return false;
+  if (current != nullptr && version <= current->version) {
+    return reject("stale version " + std::to_string(version) +
+                  " <= current " + std::to_string(current->version));
+  }
 
+  // The schedule generator records its own (richer) DecisionRecord at
+  // publication; only applies of versions it never saw get one here.
+  if (!cluster_.provenance().has_version(version)) {
+    record_decision(trigger, obs::DecisionOutcome::kPublished, {},
+                    static_cast<int>(tasks.size()), version,
+                    "placement applied for topology " + std::to_string(topo));
+  }
   AssignmentRecord record;
   record.version = version;
   record.placement = std::move(filtered);
@@ -80,8 +130,15 @@ bool Nimbus::apply_placement(sched::TopologyId topo,
 
 bool Nimbus::rebalance(sched::TopologyId topo,
                        sched::ISchedulingAlgorithm& algorithm,
-                       int num_workers_override) {
-  if (cluster_.tasks_of(topo).empty()) return false;  // unknown topology
+                       int num_workers_override,
+                       obs::DecisionTrigger trigger) {
+  const auto tasks = cluster_.tasks_of(topo);
+  if (tasks.empty()) {
+    record_decision(trigger, obs::DecisionOutcome::kEmptyInput,
+                    algorithm.name(), 0, 0,
+                    "rebalance of unknown topology " + std::to_string(topo));
+    return false;
+  }
   auto input = cluster_.scheduler_input({topo});
   if (num_workers_override > 0) {
     for (auto& t : input.topologies) {
@@ -92,38 +149,70 @@ bool Nimbus::rebalance(sched::TopologyId topo,
   // occupied set (scheduler_input only lists other topologies' slots, so
   // nothing to do) and schedule.
   auto result = algorithm.schedule(input);
-  for (sched::TaskId t : cluster_.tasks_of(topo)) {
-    if (!result.assignment.contains(t)) return false;
+  for (sched::TaskId t : tasks) {
+    if (!result.assignment.contains(t)) {
+      record_decision(trigger, obs::DecisionOutcome::kIncompleteAssignment,
+                      algorithm.name(), static_cast<int>(tasks.size()), 0,
+                      "rebalance left tasks of topology " +
+                          std::to_string(topo) + " unplaced");
+      return false;
+    }
   }
-  return apply_placement(topo, result.assignment, next_version());
+  return apply_placement(topo, result.assignment, next_version(), trigger);
 }
 
 bool Nimbus::apply_placements(
     const std::map<sched::TopologyId, sched::Placement>& placements,
     sched::AssignmentVersion version) {
+  int executors = 0;
+  for (const auto& [topo, placement] : placements) {
+    executors += static_cast<int>(placement.size());
+  }
+  const auto reject = [&](const std::string& why) {
+    record_decision(obs::DecisionTrigger::kManual,
+                    obs::DecisionOutcome::kApplyRejected, {}, executors, 0,
+                    "multi-topology apply of version " +
+                        std::to_string(version) + " rejected: " + why);
+    return false;
+  };
   const int total_slots = cluster_.total_slots();
   // Validate coverage, ranges, and slot exclusivity across the new set.
   std::unordered_map<sched::SlotIndex, sched::TopologyId> slot_owner;
   for (const auto& [topo, placement] : placements) {
     const auto tasks = cluster_.tasks_of(topo);
-    if (tasks.empty()) return false;
+    if (tasks.empty()) return reject("unknown topology");
     for (sched::TaskId t : tasks) {
       auto it = placement.find(t);
-      if (it == placement.end()) return false;
-      if (it->second < 0 || it->second >= total_slots) return false;
+      if (it == placement.end()) return reject("incomplete coverage");
+      if (it->second < 0 || it->second >= total_slots) {
+        return reject("slot out of range");
+      }
       auto [oit, inserted] = slot_owner.emplace(it->second, topo);
-      if (!inserted && oit->second != topo) return false;
+      if (!inserted && oit->second != topo) {
+        return reject("slot shared by two topologies");
+      }
     }
     const auto* current = cluster_.coordination().get(topo);
-    if (current != nullptr && version <= current->version) return false;
+    if (current != nullptr && version <= current->version) {
+      return reject("stale version");
+    }
   }
   // Conflicts with assigned topologies outside the set.
   for (const auto& [other, record] : cluster_.coordination().all()) {
     if (placements.contains(other)) continue;
     for (const auto& [task, slot] : record.placement) {
       auto it = slot_owner.find(slot);
-      if (it != slot_owner.end()) return false;
+      if (it != slot_owner.end()) {
+        return reject("slot owned by a topology outside the set");
+      }
     }
+  }
+  // The schedule generator records its own DecisionRecord when it
+  // publishes `version`; only externally computed versions get one here.
+  if (!cluster_.provenance().has_version(version)) {
+    record_decision(obs::DecisionTrigger::kManual,
+                    obs::DecisionOutcome::kPublished, {}, executors, version,
+                    "multi-topology placement applied");
   }
   for (const auto& [topo, placement] : placements) {
     AssignmentRecord record;
@@ -222,7 +311,7 @@ void Nimbus::reschedule_stranded_topologies() {
         recovery_ != nullptr ? *recovery_ : default_recovery_;
     // May fail when the surviving slots cannot host the topology; the next
     // sweep retries, so capacity returning (node declared alive) heals it.
-    rebalance(topo, algo);
+    rebalance(topo, algo, 0, obs::DecisionTrigger::kRecovery);
   }
 }
 

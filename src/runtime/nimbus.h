@@ -8,8 +8,10 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/provenance.h"
 #include "runtime/coordination.h"
 #include "sched/round_robin.h"
 #include "sched/scheduler.h"
@@ -33,9 +35,13 @@ class Nimbus {
   /// Applies an externally computed placement (T-Storm custom scheduler
   /// path). Validates slots and structural sanity; returns false and
   /// changes nothing if `placement` does not cover the topology's tasks.
+  /// Every call records a DecisionRecord (`trigger` says why it ran) —
+  /// unless the version was already recorded by the schedule generator.
   bool apply_placement(sched::TopologyId topo,
                        const sched::Placement& placement,
-                       sched::AssignmentVersion version);
+                       sched::AssignmentVersion version,
+                       obs::DecisionTrigger trigger =
+                           obs::DecisionTrigger::kManual);
 
   /// Applies a consistent multi-topology schedule atomically (the T-Storm
   /// schedule generator reassigns all topologies in one run). Placements
@@ -51,7 +57,9 @@ class Nimbus {
   /// out through the normal supervisor path.
   bool rebalance(sched::TopologyId topo,
                  sched::ISchedulingAlgorithm& algorithm,
-                 int num_workers_override = 0);
+                 int num_workers_override = 0,
+                 obs::DecisionTrigger trigger =
+                     obs::DecisionTrigger::kManual);
 
   /// Current assignment, nullptr if never scheduled.
   [[nodiscard]] const AssignmentRecord* assignment(
@@ -95,6 +103,11 @@ class Nimbus {
 
  private:
   void reschedule_stranded_topologies();
+  /// Shorthand for Nimbus-side provenance (no metrics-db context).
+  void record_decision(obs::DecisionTrigger trigger,
+                       obs::DecisionOutcome outcome,
+                       const std::string& algorithm, int executors,
+                       sched::AssignmentVersion version, std::string reason);
 
   Cluster& cluster_;
   sched::AssignmentVersion last_version_ = 0;

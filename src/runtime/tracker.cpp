@@ -21,14 +21,33 @@ void TupleTracker::register_root(std::uint64_t root_id,
                                  sched::TaskId spout_task,
                                  std::shared_ptr<const topo::Tuple> tuple,
                                  int attempt) {
+  // A forced re-registration of a tracked root id (spouts re-draw against
+  // contains(), but direct callers can still collide) must not overwrite
+  // live accounting: settle the old entry first. A live predecessor is
+  // recorded as failed (its ack can never be told apart from ours again);
+  // a failed one just loses the rest of its late-ack grace window.
+  if (auto old = entries_.find(root_id); old != entries_.end()) {
+    Entry& stale = old->second;
+    if (!stale.failed) {
+      cluster_.sim().cancel(stale.timeout_event);
+      recorder_.record_failure(cluster_.sim().now());
+      if (--pending_[stale.spout_task] <= 0) {
+        pending_.erase(stale.spout_task);
+      }
+      --in_flight_;
+    }
+    entries_.erase(old);
+  }
   Entry e;
   e.spout_task = spout_task;
   e.emit_time = cluster_.sim().now();
   e.tuple = std::move(tuple);
   e.attempt = attempt;
+  e.epoch = ++next_epoch_;
+  const std::uint64_t epoch = e.epoch;
   e.timeout_event = cluster_.sim().schedule_after(
       cluster_.config().tuple_timeout,
-      [this, root_id] { on_timeout(root_id); });
+      [this, root_id, epoch] { on_timeout(root_id, epoch); });
   entries_[root_id] = std::move(e);
   ++pending_[spout_task];
   ++in_flight_;
@@ -48,10 +67,14 @@ void TupleTracker::on_ack_complete(std::uint64_t root_id) {
     cluster_.sim().cancel(e.timeout_event);
     recorder_.record_completion(e.emit_time, cluster_.sim().now(),
                                 /*late=*/false);
-    --pending_[e.spout_task];
+    // Erase exhausted per-spout counters so the map tracks live spouts,
+    // not every spout task ever seen.
+    if (--pending_[e.spout_task] <= 0) pending_.erase(e.spout_task);
     --in_flight_;
   }
   entries_.erase(it);
+  cluster_.tuple_trace().finish_root(root_id, cluster_.sim().now(),
+                                     /*completed=*/true);
 }
 
 double TupleTracker::backoff_delay(int attempt) const {
@@ -83,15 +106,17 @@ void TupleTracker::dispatch_replay(sched::TaskId spout_task,
   }
 }
 
-void TupleTracker::on_timeout(std::uint64_t root_id) {
+void TupleTracker::on_timeout(std::uint64_t root_id, std::uint64_t epoch) {
   auto it = entries_.find(root_id);
-  if (it == entries_.end()) return;
+  if (it == entries_.end() || it->second.epoch != epoch) return;
   Entry& e = it->second;
   e.timeout_event = sim::kInvalidEvent;
   e.failed = true;
   recorder_.record_failure(cluster_.sim().now());
-  --pending_[e.spout_task];
+  if (--pending_[e.spout_task] <= 0) pending_.erase(e.spout_task);
   --in_flight_;
+  cluster_.tuple_trace().finish_root(root_id, cluster_.sim().now(),
+                                     /*completed=*/false);
 
   // Notify the (current) spout instance so user code sees fail().
   if (Executor* inst = cluster_.resolve(
@@ -124,9 +149,10 @@ void TupleTracker::on_timeout(std::uint64_t root_id) {
   cluster_.sim().schedule_after(
       cluster_.config().late_ack_grace_factor *
           cluster_.config().tuple_timeout,
-      [this, root_id] {
+      [this, root_id, epoch] {
         auto eit = entries_.find(root_id);
-        if (eit != entries_.end() && eit->second.failed) {
+        if (eit != entries_.end() && eit->second.epoch == epoch &&
+            eit->second.failed) {
           entries_.erase(eit);
         }
       });

@@ -34,8 +34,22 @@ class TupleTracker {
   /// completion (late if the timeout already fired) and releases state.
   void on_ack_complete(std::uint64_t root_id);
 
+  /// True while root_id has a tracking entry (live, or failed and inside
+  /// its late-ack grace window). Spouts re-draw colliding ids against
+  /// this, so a fresh registration can never overwrite tracked state.
+  [[nodiscard]] bool contains(std::uint64_t root_id) const {
+    return entries_.contains(root_id);
+  }
+
   /// Unacked root tuples for a spout task (drives max_pending).
   [[nodiscard]] int pending(sched::TaskId spout_task) const;
+
+  /// Spout tasks with a nonzero pending count. Entries are erased when
+  /// their count returns to zero, so long-lived clusters cycling through
+  /// many topologies do not accumulate dead per-spout slots.
+  [[nodiscard]] std::size_t pending_spout_entries() const {
+    return pending_.size();
+  }
 
   /// All live (unacked, not-yet-failed) roots.
   [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
@@ -67,7 +81,7 @@ class TupleTracker {
   [[nodiscard]] metrics::CompletionRecorder& recorder() { return recorder_; }
 
  private:
-  void on_timeout(std::uint64_t root_id);
+  void on_timeout(std::uint64_t root_id, std::uint64_t epoch);
   void dispatch_replay(sched::TaskId spout_task,
                        std::shared_ptr<const topo::Tuple> tuple, int attempt);
 
@@ -78,6 +92,12 @@ class TupleTracker {
     int attempt = 0;
     sim::EventId timeout_event = sim::kInvalidEvent;
     bool failed = false;
+    /// Registration generation. Timeout and grace-erase closures carry the
+    /// epoch they were armed for and no-op on mismatch, so even a forced
+    /// re-registration of the same root id (contains() makes it impossible
+    /// through the spout path) cannot let a stale closure double-count or
+    /// prematurely erase the new entry.
+    std::uint64_t epoch = 0;
   };
 
   Cluster& cluster_;
@@ -85,6 +105,7 @@ class TupleTracker {
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::unordered_map<sched::TaskId, int> pending_;
   std::size_t in_flight_ = 0;
+  std::uint64_t next_epoch_ = 0;
   std::uint64_t total_registered_ = 0;
   std::uint64_t replays_dropped_ = 0;
   /// Private substream for backoff jitter: replay scheduling never

@@ -42,6 +42,8 @@ const char* to_string(EventKind kind) {
       return "backpressure-off";
     case EventKind::kTupleShed:
       return "tuple-shed";
+    case EventKind::kScheduleRejected:
+      return "schedule-rejected";
   }
   return "?";
 }

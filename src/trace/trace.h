@@ -44,6 +44,11 @@ enum class EventKind : std::uint8_t {
   /// Flow control: a data tuple was shed at a hard-full executor queue
   /// (node = the congested executor's node, detail names task + policy).
   kTupleShed,
+  /// A schedule-generation pass ran and was rejected (detail carries the
+  /// machine-readable outcome + reason; the full DecisionRecord lives in
+  /// obs::ProvenanceLog). Emitted only when CoreConfig::trace_decisions
+  /// is on, so default trace streams are unchanged.
+  kScheduleRejected,
 };
 
 const char* to_string(EventKind kind);

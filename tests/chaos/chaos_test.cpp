@@ -10,6 +10,7 @@
 #include "chaos/auditor.h"
 #include "chaos/fault_plan.h"
 #include "core/system.h"
+#include "obs/provenance.h"
 #include "runtime/cluster.h"
 #include "sched/round_robin.h"
 #include "trace/trace.h"
@@ -448,6 +449,46 @@ TEST(Regression, FailNodeDuringSmoothReassignmentCoexistence) {
   sim.run_until(300.0);
   EXPECT_GT(cluster.completion().total_completed(), completed);
   EXPECT_TRUE(cluster.executors_on_node(victim).empty());
+}
+
+// --------------------------------------------------- Schedule provenance ---
+
+// Every schedule the control plane applies — including the automatic
+// rebalances the failure detector issues — must trace back to a recorded
+// scheduling decision. The auditor enforces it; this exercises the law
+// under an actual node failure.
+TEST(Provenance, AutoRebalanceAfterNodeFailureLeavesDecisionRecords) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.failure_detection = true;
+  core::StormSystem sys(sim, cfg);
+  sys.submit(workload::make_throughput_test(small_throughput()));
+  sim.run_until(100.0);
+  auto& cluster = sys.cluster();
+
+  const sched::NodeId victim = node_with_executors(cluster);
+  ASSERT_GE(victim, 0);
+  cluster.fail_node(victim);
+  sim.run_until(250.0);
+
+  // The detector rescheduled the stranded topology at least once, and the
+  // rebalance shows up as a recovery-triggered published decision.
+  const auto applied = cluster.trace_log().of_kind(EventKind::kScheduleApplied);
+  ASSERT_GE(applied.size(), 2u);  // initial + post-failure rebalance
+  for (const auto& e : applied) {
+    EXPECT_TRUE(cluster.provenance().has_version(e.version))
+        << "applied schedule version " << e.version
+        << " has no decision record";
+  }
+  const auto recovery =
+      cluster.provenance().of_trigger(obs::DecisionTrigger::kRecovery);
+  ASSERT_FALSE(recovery.empty());
+  EXPECT_EQ(recovery.back().outcome, obs::DecisionOutcome::kPublished);
+  EXPECT_FALSE(recovery.back().reason.empty());
+
+  // The auditor's provenance law holds alongside the older invariants.
+  const AuditReport report = InvariantAuditor(cluster).check_now();
+  EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
 // ------------------------------------------------------- Chaos harness ---

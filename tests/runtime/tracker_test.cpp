@@ -1,0 +1,149 @@
+// TupleTracker edge cases: per-spout pending bookkeeping must not leak
+// map entries once counts return to zero, and a forced re-registration of
+// a tracked root id (the spout path re-draws against contains(), but
+// direct callers and replay paths can still collide) must settle the old
+// entry without corrupting accounting — including when the predecessor is
+// a failed entry sitting out its late-ack grace window.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/cluster.h"
+#include "test_util.h"
+
+namespace tstorm::runtime {
+namespace {
+
+using testutil::SeqSpout;
+
+std::shared_ptr<const topo::Tuple> make_tuple(std::int64_t v) {
+  return std::make_shared<const topo::Tuple>(topo::Tuple{v});
+}
+
+TEST(Tracker, ContainsTracksRegistrationLifecycle) {
+  sim::Simulation sim;
+  Cluster cluster(sim, {});
+  auto& tracker = cluster.tracker();
+  EXPECT_FALSE(tracker.contains(7));
+  tracker.register_root(7, /*spout_task=*/0, make_tuple(1), /*attempt=*/0);
+  EXPECT_TRUE(tracker.contains(7));
+  EXPECT_EQ(tracker.in_flight(), 1u);
+  EXPECT_EQ(tracker.pending(0), 1);
+  EXPECT_EQ(tracker.pending_spout_entries(), 1u);
+  tracker.on_ack_complete(7);
+  EXPECT_FALSE(tracker.contains(7));
+  EXPECT_EQ(tracker.in_flight(), 0u);
+  EXPECT_EQ(tracker.pending(0), 0);
+  // The regression: a zero-count per-spout slot must be erased, not kept
+  // forever (long-lived clusters cycle through many topologies/spouts).
+  EXPECT_EQ(tracker.pending_spout_entries(), 0u);
+  EXPECT_EQ(tracker.tracked_entries(), 0u);
+}
+
+TEST(Tracker, ForcedCollisionOnLiveEntrySettlesPredecessor) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.tuple_timeout = 5.0;
+  cfg.max_replays = 0;
+  Cluster cluster(sim, cfg);
+  auto& tracker = cluster.tracker();
+
+  tracker.register_root(7, 0, make_tuple(1), 0);
+  tracker.register_root(7, 0, make_tuple(2), 0);  // forced collision
+
+  // The live predecessor was settled as a failure; the new entry owns the
+  // id. Nothing double-counts.
+  EXPECT_TRUE(tracker.contains(7));
+  EXPECT_EQ(tracker.total_registered(), 2u);
+  EXPECT_EQ(tracker.in_flight(), 1u);
+  EXPECT_EQ(tracker.pending(0), 1);
+  EXPECT_EQ(cluster.completion().total_failed(), 1u);
+
+  tracker.on_ack_complete(7);
+  EXPECT_EQ(cluster.completion().total_completed(), 1u);
+  EXPECT_EQ(tracker.in_flight(), 0u);
+  EXPECT_EQ(tracker.pending_spout_entries(), 0u);
+
+  // The predecessor's cancelled timeout must never fire; conservation
+  // holds after everything armed has elapsed.
+  sim.run_until(60.0);
+  EXPECT_EQ(cluster.completion().total_failed(), 1u);
+  EXPECT_EQ(cluster.completion().total_completed(), 1u);
+  EXPECT_EQ(tracker.tracked_entries(), 0u);
+}
+
+TEST(Tracker, CollisionWithFailedEntryInGraceWindowIsEpochGuarded) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.tuple_timeout = 5.0;  // grace erase at 5 + 6*5 = 35 s
+  cfg.max_replays = 0;
+  Cluster cluster(sim, cfg);
+  auto& tracker = cluster.tracker();
+
+  tracker.register_root(7, 0, make_tuple(1), 0);
+  sim.run_until(6.0);  // timeout fired at t=5: entry failed, in grace
+  EXPECT_TRUE(tracker.contains(7));
+  EXPECT_EQ(tracker.in_flight(), 0u);
+  EXPECT_EQ(cluster.completion().total_failed(), 1u);
+
+  // Re-register over the failed entry. The old grace-erase closure (armed
+  // for t=35) carries the stale epoch and must NOT erase the new entry.
+  tracker.register_root(7, 0, make_tuple(2), 0);
+  EXPECT_TRUE(tracker.contains(7));
+  EXPECT_EQ(tracker.in_flight(), 1u);
+  // Settling a failed predecessor records nothing extra.
+  EXPECT_EQ(cluster.completion().total_failed(), 1u);
+
+  // t=11: the new entry times out too. t=35: the stale grace closure
+  // fires — the entry (epoch 2, grace until t=41) must survive it.
+  sim.run_until(36.0);
+  EXPECT_TRUE(tracker.contains(7));
+  EXPECT_EQ(cluster.completion().total_failed(), 2u);
+
+  // A late ack inside the second grace window still lands on the right
+  // entry and is recorded as a late completion.
+  tracker.on_ack_complete(7);
+  EXPECT_FALSE(tracker.contains(7));
+  EXPECT_EQ(cluster.completion().total_completed(), 1u);
+
+  sim.run_until(60.0);
+  EXPECT_EQ(tracker.tracked_entries(), 0u);
+  EXPECT_EQ(tracker.pending_spout_entries(), 0u);
+  EXPECT_EQ(cluster.completion().total_failed(), 2u);
+  EXPECT_EQ(cluster.completion().total_completed(), 1u);
+}
+
+TEST(Tracker, PendingSpoutEntriesDrainToZeroAfterTopologyQuiesces) {
+  sim::Simulation sim;
+  Cluster cluster(sim, {});
+
+  auto counter = std::make_shared<std::int64_t>(0);
+  auto gate = std::make_shared<bool>(false);
+  topo::TopologyBuilder b;
+  b.set_spout(
+       "s",
+       [counter, gate] {
+         return std::make_unique<SeqSpout>(counter, 150, gate);
+       },
+       1)
+      .output_fields({"v"})
+      .emit_interval(0.001);
+  b.set_bolt(
+       "b", [] { return std::make_unique<testutil::SlowBolt>(0.1); }, 2)
+      .shuffle_grouping("s");
+  cluster.submit(b.build("finite", 4, 2));
+
+  sim.run_until(15.0);  // workers all started
+  *gate = true;
+  sim.run_until(120.0);  // everything emitted and acked long ago
+
+  auto& tracker = cluster.tracker();
+  EXPECT_EQ(cluster.completion().total_completed(), 150u);
+  EXPECT_EQ(tracker.in_flight(), 0u);
+  EXPECT_EQ(tracker.tracked_entries(), 0u);
+  // The drained spout's pending slot is gone, not parked at zero.
+  EXPECT_EQ(tracker.pending_spout_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace tstorm::runtime
