@@ -51,7 +51,7 @@ class WindowedCountBolt final : public topo::Bolt {
  public:
   void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
     (void)ctx;
-    ++counts_[input.get_string(0)];
+    ++counts_[std::string(input.get_string(0))];
   }
   void on_tick(topo::BoltContext& ctx) override {
     std::vector<std::pair<std::string, std::int64_t>> top(counts_.begin(),
@@ -80,7 +80,7 @@ class ReportBolt final : public topo::Bolt {
       std::shared_ptr<std::map<std::string, std::int64_t>> report)
       : report_(std::move(report)) {}
   void execute(const topo::Tuple& input, topo::BoltContext&) override {
-    (*report_)[input.get_string(0)] += input.get_int(1);
+    (*report_)[std::string(input.get_string(0))] += input.get_int(1);
   }
   double cpu_cost_mega_cycles(const topo::Tuple&) const override {
     return 0.2;

@@ -49,7 +49,7 @@ class SplitBolt final : public topo::Bolt {
 class CountBolt final : public topo::Bolt {
  public:
   void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
-    const auto& word = input.get_string(0);
+    const std::string word(input.get_string(0));
     ctx.emit(topo::Tuple{word, ++counts_[word]});
   }
   double cpu_cost_mega_cycles(const topo::Tuple&) const override {

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Quick engine-performance smoke: builds the benchmark in Release, runs the
 # core event-loop figures with a short budget, asserts the hot path is
-# allocation-free, and appends the JSON result to BENCH_history.jsonl so
-# regressions are visible across commits. Also runs the trace_export
-# example as an observability self-check: the Chrome trace must parse as
-# JSON and carry at least one scheduling-decision record.
+# allocation-free (--assert-zero-alloc gates both the schedule_run engine
+# figure and the wordcount_steady tuple-path figure at exactly 0 heap
+# allocations per event after warm-up), and appends the JSON result to
+# BENCH_history.jsonl so regressions are visible across commits. Also runs
+# the trace_export example as an observability self-check: the Chrome
+# trace must parse as JSON and carry at least one scheduling-decision
+# record.
 #
 # Usage: scripts/bench_smoke.sh [label]
 set -euo pipefail

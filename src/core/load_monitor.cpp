@@ -25,10 +25,10 @@ void LoadMonitor::sample() {
     max_queue = std::max(max_queue, depth);
     db_.update_executor_load(ex->task(), mhz);
     db_.update_executor_queue(ex->task(), depth);
-    for (const auto& [dst, count] : ex->take_sent()) {
+    ex->drain_sent([this, ex](sched::TaskId dst, std::uint64_t count) {
       db_.update_traffic(ex->task(), dst,
                          static_cast<double>(count) / period_);
-    }
+    });
   }
   last_node_mhz_ = node_mhz;
   db_.update_node_load(node_, node_mhz);

@@ -29,6 +29,14 @@ class CompletionRecorder {
   /// Records a replayed emission.
   void record_replay(sim::Time t);
 
+  /// Pre-sizes the series for an expected completion count over a run of
+  /// `horizon` simulated seconds (zero-alloc steady-state benches).
+  void reserve(std::size_t completions, sim::Time horizon) {
+    proc_time_ms_.reserve(completions, horizon);
+    failures_.reserve(horizon);
+    completions_.reserve(horizon);
+  }
+
   /// Average processing time (ms) per 1-minute window — the y-axis of the
   /// paper's Figs. 2, 3(a), 5, 6, 8, 9, 10.
   [[nodiscard]] const WindowedSeries& proc_time_ms() const {

@@ -18,6 +18,14 @@ class WindowedSeries {
 
   void add(sim::Time t, double value);
 
+  /// Pre-sizes storage for a run of the given horizon and expected
+  /// observation count, so steady-state recording never reallocates
+  /// (benchmarks asserting a zero-alloc hot path call this up front).
+  void reserve(std::size_t observations, sim::Time horizon) {
+    points_.reserve(observations);
+    windows_.reserve(static_cast<std::size_t>(horizon / width_) + 2);
+  }
+
   struct Window {
     sim::Time start = 0;  // window covers [start, start + width)
     std::uint64_t count = 0;
@@ -60,6 +68,11 @@ class WindowedCounter {
   explicit WindowedCounter(sim::Time window = 60.0);
 
   void add(sim::Time t, std::uint64_t n = 1);
+
+  /// Pre-sizes the window vector for a run of the given horizon.
+  void reserve(sim::Time horizon) {
+    windows_.reserve(static_cast<std::size_t>(horizon / width_) + 2);
+  }
 
   struct Window {
     sim::Time start = 0;

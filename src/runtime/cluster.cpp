@@ -154,7 +154,7 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
   // call (as pause_spouts does with kSpoutsHalted) would flood the ring.
   // Throttle transitions are traced as kBackpressureOn/Off instead.
   flow_.set_spout_pauser([this](sched::TopologyId topo, sim::Time until) {
-    for (const auto& [task, instances] : router_) {
+    for (const auto& instances : router_) {
       for (Executor* e : instances) {
         if (e->info().topology == topo && e->info().is_spout()) {
           e->pause_spout_until(until);
@@ -351,26 +351,27 @@ sched::SchedulerInput Cluster::scheduler_input(
 }
 
 void Cluster::register_executor(Executor* executor) {
-  router_[executor->task()].push_back(executor);
+  const auto task = static_cast<std::size_t>(executor->task());
+  if (task >= router_.size()) router_.resize(task + 1);
+  router_[task].push_back(executor);
 }
 
 void Cluster::unregister_executor(Executor* executor) {
-  auto it = router_.find(executor->task());
-  if (it == router_.end()) return;
-  std::erase(it->second, executor);
-  if (it->second.empty()) router_.erase(it);
+  const auto task = static_cast<std::size_t>(executor->task());
+  if (task >= router_.size()) return;
+  std::erase(router_[task], executor);
 }
 
 Executor* Cluster::resolve(sched::TaskId task,
                            sched::AssignmentVersion sender_version) const {
-  auto it = router_.find(task);
-  if (it == router_.end() || it->second.empty()) return nullptr;
+  const auto t = static_cast<std::size_t>(task);
+  if (t >= router_.size() || router_[t].empty()) return nullptr;
   // Dispatcher rule (section IV-D): old senders reach old instances, new
   // senders reach new instances. Concretely: newest instance not newer
   // than the sender; if none, the oldest newer instance.
   Executor* best_le = nullptr;
   Executor* best_gt = nullptr;
-  for (Executor* e : it->second) {
+  for (Executor* e : router_[t]) {
     const auto v = e->worker().version();
     if (v <= sender_version) {
       if (best_le == nullptr || v > best_le->worker().version()) best_le = e;
@@ -476,7 +477,7 @@ bool Cluster::deliver_control(sched::TaskId dst, Envelope env) {
 
 std::vector<Executor*> Cluster::executors_on_node(sched::NodeId node) const {
   std::vector<Executor*> out;
-  for (const auto& [task, instances] : router_) {
+  for (const auto& instances : router_) {
     for (Executor* e : instances) {
       if (e->node_id() == node) out.push_back(e);
     }
@@ -485,13 +486,13 @@ std::vector<Executor*> Cluster::executors_on_node(sched::NodeId node) const {
 }
 
 std::vector<Executor*> Cluster::instances_of(sched::TaskId task) const {
-  auto it = router_.find(task);
-  return it == router_.end() ? std::vector<Executor*>{} : it->second;
+  const auto t = static_cast<std::size_t>(task);
+  return t < router_.size() ? router_[t] : std::vector<Executor*>{};
 }
 
 std::vector<Executor*> Cluster::registered_executors() const {
   std::vector<Executor*> out;
-  for (const auto& [task, instances] : router_) {
+  for (const auto& instances : router_) {
     out.insert(out.end(), instances.begin(), instances.end());
   }
   return out;
@@ -499,7 +500,7 @@ std::vector<Executor*> Cluster::registered_executors() const {
 
 int Cluster::nodes_in_use() const {
   std::unordered_set<sched::NodeId> nodes;
-  for (const auto& [task, instances] : router_) {
+  for (const auto& instances : router_) {
     for (Executor* e : instances) nodes.insert(e->node_id());
   }
   return static_cast<int>(nodes.size());
@@ -507,7 +508,7 @@ int Cluster::nodes_in_use() const {
 
 int Cluster::slots_in_use() const {
   std::unordered_set<sched::SlotIndex> slots;
-  for (const auto& [task, instances] : router_) {
+  for (const auto& instances : router_) {
     for (Executor* e : instances) slots.insert(e->worker().slot());
   }
   return static_cast<int>(slots.size());
@@ -516,7 +517,7 @@ int Cluster::slots_in_use() const {
 void Cluster::pause_spouts(sched::TopologyId topo, sim::Time until) {
   trace_.record({sim_.now(), trace::EventKind::kSpoutsHalted, topo, -1, -1,
                  0, "until t=" + std::to_string(until)});
-  for (const auto& [task, instances] : router_) {
+  for (const auto& instances : router_) {
     for (Executor* e : instances) {
       if (e->info().topology == topo && e->info().is_spout()) {
         e->pause_spout_until(until);
@@ -569,7 +570,7 @@ void Cluster::note_drop(DropCause cause) {
 
 std::vector<metrics::FlowGaugeRow> Cluster::flow_gauges() const {
   std::vector<metrics::FlowGaugeRow> rows;
-  for (const auto& [task, instances] : router_) {
+  for (const auto& instances : router_) {
     for (Executor* e : instances) {
       rows.push_back({e->task(), e->node_id(), e->data_queue_depth(),
                       flow_.shed_for_task(e->task())});

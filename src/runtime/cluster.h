@@ -234,6 +234,20 @@ class Cluster {
   /// math from their destructors.
   std::vector<int> slot_offsets_;
   std::vector<WorkerNode> nodes_;
+
+  /// Live executor instances per task (usually 1; 2 during T-Storm
+  /// reassignment co-existence). Indexed by TaskId — ids are small and
+  /// dense, and resolve() runs twice per envelope, so the routing table is
+  /// a flat array rather than a hash map. Declared before supervisors_:
+  /// executors unregister themselves from it during worker shutdown.
+  std::vector<std::vector<Executor*>> router_;
+
+  /// Slot storage for stash_envelope()/take_envelope(); free slots are a
+  /// freelist threaded through in_flight_free_. Declared before
+  /// supervisors_: worker teardown reclaims stashed envelopes.
+  std::vector<Envelope> in_flight_;
+  std::vector<std::uint32_t> in_flight_free_;
+
   std::vector<std::unique_ptr<Supervisor>> supervisors_;
 
   /// Topologies stored stably (ComponentDef pointers live in TaskInfo).
@@ -243,17 +257,8 @@ class Cluster {
   std::unordered_map<sched::TopologyId, std::vector<sched::TaskId>>
       acker_tasks_;
 
-  /// Live executor instances per task (usually 1; 2 during T-Storm
-  /// reassignment co-existence).
-  std::unordered_map<sched::TaskId, std::vector<Executor*>> router_;
-
   std::uint64_t dropped_by_cause_[4] = {0, 0, 0, 0};
   std::unique_ptr<sched::ISchedulingAlgorithm> default_initial_;
-
-  /// Slot storage for stash_envelope()/take_envelope(); free slots are a
-  /// freelist threaded through in_flight_free_.
-  std::vector<Envelope> in_flight_;
-  std::vector<std::uint32_t> in_flight_free_;
 };
 
 }  // namespace tstorm::runtime

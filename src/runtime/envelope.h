@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "sched/types.h"
 #include "topo/tuple.h"
@@ -26,7 +25,7 @@ struct Envelope {
   MsgKind kind = MsgKind::kData;
   sched::TaskId src = -1;
   sched::TaskId dst = -1;
-  std::shared_ptr<const topo::Tuple> tuple;  // kData / kReplay only
+  topo::TupleRef tuple;  // kData / kReplay only (pooled, intrusive refcount)
   std::uint64_t root_id = 0;
   std::uint64_t xor_val = 0;
   /// Assignment version of the sending worker; the dispatcher routes by it

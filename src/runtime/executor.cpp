@@ -12,15 +12,16 @@ namespace tstorm::runtime {
 // ---------------------------------------------------------------- Executor
 
 Executor::Executor(Cluster& cluster, Worker& worker, const TaskInfo& info)
-    : cluster_(cluster), worker_(worker), info_(info) {}
+    : cluster_(cluster),
+      worker_(worker),
+      node_id_(worker.node_id()),
+      info_(info) {}
 
 Executor::~Executor() {
   // Workers call shutdown() before destruction; this is a backstop so a
   // destroyed executor can never stay registered.
   if (running_) shutdown();
 }
-
-sched::NodeId Executor::node_id() const { return worker_.node_id(); }
 
 void Executor::start() {
   assert(!running_);
@@ -43,7 +44,8 @@ void Executor::shutdown() {
   // surface as timeouts at their spouts. Replay envelopes carry tuples
   // too — a replay queued at a dying spout is just as lost as fresh data,
   // so it must be attributed or conservation audits under-count.
-  for (const auto& env : queue_) {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Envelope& env = queue_[i];
     if (env.kind == MsgKind::kData || env.kind == MsgKind::kReplay) {
       cluster_.note_drop(DropCause::kShutdownDrain);
     }
@@ -96,7 +98,7 @@ bool Executor::shed_oldest_data() {
   // would corrupt the service in flight, so the scan starts at 1.
   for (std::size_t i = busy_ ? 1 : 0; i < queue_.size(); ++i) {
     if (queue_[i].kind != MsgKind::kData) continue;
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    queue_.erase_at(i);
     --data_queued_;
     cluster_.note_drop(DropCause::kLoadShed);
     cluster_.flow().note_shed(info_.topology, task(), node_id());
@@ -139,8 +141,7 @@ void Executor::begin_service() {
 void Executor::finish_service() {
   service_event_ = sim::kInvalidEvent;
   cluster_.node(node_id()).service_finished();
-  Envelope env = std::move(queue_.front());
-  queue_.pop_front();
+  Envelope env = queue_.pop_front();
   busy_ = false;
   if (env.kind == MsgKind::kData) {
     --data_queued_;
@@ -169,12 +170,6 @@ double Executor::take_mega_cycles() {
   return v;
 }
 
-std::unordered_map<sched::TaskId, std::uint64_t> Executor::take_sent() {
-  auto out = std::move(sent_);
-  sent_.clear();
-  return out;
-}
-
 // --------------------------------------------------------- EmissionHelper
 
 EmissionHelper::EmissionHelper(Cluster& cluster, Executor& self)
@@ -197,8 +192,7 @@ EmissionHelper::EmissionHelper(Cluster& cluster, Executor& self)
 
 namespace {
 
-Envelope make_data(sched::TaskId dst,
-                   const std::shared_ptr<const topo::Tuple>& tuple,
+Envelope make_data(sched::TaskId dst, const topo::TupleRef& tuple,
                    std::uint64_t root_id, std::uint64_t edge) {
   Envelope env;
   env.kind = MsgKind::kData;
@@ -211,7 +205,7 @@ Envelope make_data(sched::TaskId dst,
 
 }  // namespace
 
-std::uint64_t EmissionHelper::emit(std::shared_ptr<const topo::Tuple> tuple,
+std::uint64_t EmissionHelper::emit(const topo::TupleRef& tuple,
                                    std::uint64_t root_id) {
   std::uint64_t xor_edges = 0;
   for (auto& out : outs_) {
@@ -226,9 +220,11 @@ std::uint64_t EmissionHelper::emit(std::shared_ptr<const topo::Tuple> tuple,
         break;
       }
       case topo::GroupingType::kFields: {
-        const auto& v = tuple->at(static_cast<std::size_t>(
-            std::max(0, out.sub.field_index)));
-        const auto i = topo::hash_value(v) % out.targets.size();
+        // Memoized per tuple: every hop that fields-groups on the same
+        // declared field reuses the hash computed at first routing.
+        const auto h = tuple->field_hash(
+            static_cast<std::size_t>(std::max(0, out.sub.field_index)));
+        const auto i = h % out.targets.size();
         const auto edge = cluster_.rng().next_u64();
         xor_edges ^= root_id != 0 ? edge : 0;
         self_.send_to(out.targets[i],
@@ -258,9 +254,10 @@ std::uint64_t EmissionHelper::emit(std::shared_ptr<const topo::Tuple> tuple,
   return xor_edges;
 }
 
-std::uint64_t EmissionHelper::emit_direct(
-    const std::string& consumer, int task_index,
-    std::shared_ptr<const topo::Tuple> tuple, std::uint64_t root_id) {
+std::uint64_t EmissionHelper::emit_direct(const std::string& consumer,
+                                          int task_index,
+                                          const topo::TupleRef& tuple,
+                                          std::uint64_t root_id) {
   for (auto& out : outs_) {
     if (out.consumer->name != consumer ||
         out.sub.grouping != topo::GroupingType::kDirect) {
@@ -345,23 +342,21 @@ void BoltExecutor::process(Envelope& env) {
 }
 
 void BoltExecutor::emit(topo::Tuple tuple) {
-  auto shared = std::make_shared<const topo::Tuple>(std::move(tuple));
+  const topo::TupleRef ref = topo::TupleRef::make(std::move(tuple));
   const std::uint64_t root = current_ != nullptr ? current_->root_id : 0;
-  emitted_xor_ ^= emitter_->emit(std::move(shared), root);
+  emitted_xor_ ^= emitter_->emit(ref, root);
 }
 
 void BoltExecutor::emit_direct(const std::string& consumer, int task_index,
                                topo::Tuple tuple) {
-  auto shared = std::make_shared<const topo::Tuple>(std::move(tuple));
+  const topo::TupleRef ref = topo::TupleRef::make(std::move(tuple));
   const std::uint64_t root = current_ != nullptr ? current_->root_id : 0;
-  emitted_xor_ ^=
-      emitter_->emit_direct(consumer, task_index, std::move(shared), root);
+  emitted_xor_ ^= emitter_->emit_direct(consumer, task_index, ref, root);
 }
 
 void BoltExecutor::ack_input(const Envelope& env, std::uint64_t emitted_xor) {
   if (env.root_id == 0) return;  // unanchored
-  const auto ackers =
-      cluster_.acker_tasks(info().topology);
+  const auto& ackers = cluster_.acker_tasks(info().topology);
   if (ackers.empty()) return;
   Envelope ack;
   ack.kind = MsgKind::kAck;
@@ -447,15 +442,13 @@ void SpoutExecutor::process(Envelope& env) {
       // new input), then fresh tuples — one emission per rate-control
       // slot either way.
       if (!replay_buffer_.empty()) {
-        Envelope replay = std::move(replay_buffer_.front());
-        replay_buffer_.pop_front();
+        Envelope replay = replay_buffer_.pop_front();
         emit_root(std::move(replay.tuple), replay.attempt);
         return;
       }
       auto next = spout_->next_tuple();
       if (next.has_value()) {
-        emit_root(std::make_shared<const topo::Tuple>(std::move(*next)),
-                  /*attempt=*/0);
+        emit_root(topo::TupleRef::make(std::move(*next)), /*attempt=*/0);
       }
       break;
     }
@@ -471,11 +464,10 @@ void SpoutExecutor::process(Envelope& env) {
   }
 }
 
-void SpoutExecutor::emit_root(std::shared_ptr<const topo::Tuple> tuple,
-                              int attempt) {
+void SpoutExecutor::emit_root(topo::TupleRef tuple, int attempt) {
   if (acker_tasks_.empty()) {
     // No ackers: unanchored emission, no tracking (root id 0).
-    emitter_->emit(std::move(tuple), 0);
+    emitter_->emit(tuple, 0);
     return;
   }
   std::uint64_t root = cluster_.rng().next_u64();
@@ -523,41 +515,42 @@ void AckerExecutor::maybe_expire() {
   const sim::Time horizon =
       cluster_.sim().now() - cluster_.config().late_ack_grace_factor *
                                  cluster_.config().tuple_timeout;
-  std::erase_if(pending_, [horizon](const auto& kv) {
-    return kv.second.created < horizon;
+  pending_.erase_if([horizon](std::uint64_t /*root*/, const AckState& st) {
+    return st.created < horizon;
   });
 }
 
 void AckerExecutor::process(Envelope& env) {
   maybe_expire();
+  AckState* st = nullptr;
   switch (env.kind) {
     case MsgKind::kAckInit: {
-      AckState& st = pending_[env.root_id];
-      if (st.xor_val == 0 && !st.init_seen) {
-        st.created = cluster_.sim().now();
+      st = &pending_[env.root_id];
+      if (st->xor_val == 0 && !st->init_seen) {
+        st->created = cluster_.sim().now();
       }
-      st.xor_val ^= env.xor_val;
-      st.spout_task = env.src;
-      st.init_seen = true;
+      st->xor_val ^= env.xor_val;
+      st->spout_task = env.src;
+      st->init_seen = true;
       break;
     }
     case MsgKind::kAck: {
-      auto [it, inserted] = pending_.try_emplace(env.root_id);
-      if (inserted) it->second.created = cluster_.sim().now();
-      it->second.xor_val ^= env.xor_val;
+      bool inserted = false;
+      st = &pending_.get_or_insert(env.root_id, &inserted);
+      if (inserted) st->created = cluster_.sim().now();
+      st->xor_val ^= env.xor_val;
       break;
     }
     default:
       return;
   }
-  const AckState& st = pending_[env.root_id];
-  if (st.init_seen && st.xor_val == 0) {
+  if (st->init_seen && st->xor_val == 0) {
+    const auto spout = st->spout_task;
     Envelope done;
     done.kind = MsgKind::kAckComplete;
     done.root_id = env.root_id;
-    done.dst = st.spout_task;
-    const auto spout = st.spout_task;
-    pending_.erase(env.root_id);
+    done.dst = spout;
+    pending_.erase(env.root_id);  // invalidates st
     send_to(spout, std::move(done));
   }
 }

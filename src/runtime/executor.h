@@ -6,13 +6,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "runtime/envelope.h"
 #include "runtime/task.h"
+#include "sim/flat_map.h"
+#include "sim/ring_deque.h"
 #include "sim/simulation.h"
 #include "topo/component.h"
 
@@ -46,7 +47,10 @@ class Executor {
   [[nodiscard]] sched::TaskId task() const { return info_.task; }
   [[nodiscard]] Worker& worker() { return worker_; }
   [[nodiscard]] const Worker& worker() const { return worker_; }
-  [[nodiscard]] sched::NodeId node_id() const;
+  /// Cached at construction — an executor never migrates between workers
+  /// (reassignment spawns a fresh instance), and this sits on the
+  /// per-envelope service path.
+  [[nodiscard]] sched::NodeId node_id() const { return node_id_; }
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   /// Queued *data* envelopes only — what the flow-control watermarks and
@@ -57,8 +61,16 @@ class Executor {
   /// Mega-cycles consumed since the last call (divide by the sampling
   /// period for MHz).
   double take_mega_cycles();
-  /// Envelopes sent per destination task since the last call.
-  std::unordered_map<sched::TaskId, std::uint64_t> take_sent();
+  /// Envelopes sent per destination task since the last call: invokes
+  /// `fn(dst, count)` per destination, then resets the counters (capacity
+  /// is kept — the sampling loop performs no steady-state allocations).
+  template <typename Fn>
+  void drain_sent(Fn&& fn) {
+    sent_.for_each([&fn](sched::TaskId dst, std::uint64_t count) {
+      fn(dst, count);
+    });
+    sent_.clear();
+  }
 
   /// Spout-only hooks with no-op defaults (avoids downcasts in the
   /// tracker and the cluster's spout-pause path).
@@ -87,6 +99,7 @@ class Executor {
 
   Cluster& cluster_;
   Worker& worker_;
+  sched::NodeId node_id_;
 
  private:
   void begin_service();
@@ -97,13 +110,13 @@ class Executor {
 
   // By value: the cluster's task table can reallocate on later submits.
   const TaskInfo info_;
-  std::deque<Envelope> queue_;
+  sim::RingDeque<Envelope> queue_;
   std::size_t data_queued_ = 0;
   bool running_ = false;
   bool busy_ = false;
   sim::EventId service_event_ = sim::kInvalidEvent;
   double mega_cycles_ = 0;
-  std::unordered_map<sched::TaskId, std::uint64_t> sent_;
+  sim::FlatMap<sched::TaskId, std::uint64_t, -1> sent_;
 };
 
 /// Shared emission logic: computes target tasks per subscription and
@@ -113,13 +126,13 @@ class EmissionHelper {
  public:
   EmissionHelper(Cluster& cluster, Executor& self);
 
-  /// Emits `tuple` from `self`'s component to all subscribers.
-  std::uint64_t emit(std::shared_ptr<const topo::Tuple> tuple,
-                     std::uint64_t root_id);
+  /// Emits `tuple` from `self`'s component to all subscribers. Each send
+  /// copies the ref (one refcount bump), never the tuple itself.
+  std::uint64_t emit(const topo::TupleRef& tuple, std::uint64_t root_id);
 
   /// Direct grouping emission to one task of a named consumer.
   std::uint64_t emit_direct(const std::string& consumer, int task_index,
-                            std::shared_ptr<const topo::Tuple> tuple,
+                            const topo::TupleRef& tuple,
                             std::uint64_t root_id);
 
  private:
@@ -185,7 +198,7 @@ class SpoutExecutor final : public Executor {
 
  private:
   void poll();
-  void emit_root(std::shared_ptr<const topo::Tuple> tuple, int attempt);
+  void emit_root(topo::TupleRef tuple, int attempt);
 
   std::unique_ptr<topo::Spout> spout_;
   std::unique_ptr<EmissionHelper> emitter_;
@@ -198,7 +211,7 @@ class SpoutExecutor final : public Executor {
   /// like a Storm spout replaying from its source on nextTuple — replays
   /// must not bypass rate control or an overloaded topology can never
   /// drain its failure backlog.
-  std::deque<Envelope> replay_buffer_;
+  sim::RingDeque<Envelope> replay_buffer_;
 };
 
 class AckerExecutor final : public Executor {
@@ -227,7 +240,9 @@ class AckerExecutor final : public Executor {
   void maybe_expire();
 
   static constexpr std::uint64_t kSweepInterval = 4096;
-  std::unordered_map<std::uint64_t, AckState> pending_;
+  /// Flat map keyed by root id (never 0): no node allocation per tree —
+  /// capacity plateaus at the in-flight high-water mark.
+  sim::FlatMap<std::uint64_t, AckState, 0> pending_;
   std::uint64_t processed_ = 0;
 };
 

@@ -79,6 +79,30 @@ void Supervisor::sync() {
   if (!active_) return;
   const ClusterConfig& cfg = cluster_.config();
 
+  // Steady-state early exit: hash the published assignments (versions and
+  // placements). If nothing changed and no worker needs reaping or
+  // restarting, the rebuild below would be a no-op — skip it so a quiesced
+  // control plane performs no per-period work (or allocations).
+  std::uint64_t fp = 0xcbf29ce484222325ULL;
+  const auto mix = [&fp](std::uint64_t v) {
+    fp ^= v;
+    fp *= 0x100000001b3ULL;
+  };
+  for (const auto& [topo, record] : cluster_.coordination().all()) {
+    mix(static_cast<std::uint64_t>(topo));
+    mix(record.version);
+    for (const auto& [task, slot] : record.placement) {
+      mix(static_cast<std::uint64_t>(task));
+      mix(static_cast<std::uint64_t>(slot));
+    }
+  }
+  bool quiet = draining_.empty();
+  for (const auto& [port, w] : workers_) {
+    if (w->state() == WorkerState::kDead) quiet = false;
+  }
+  if (quiet && fp == sync_fingerprint_) return;
+  sync_fingerprint_ = fp;
+
   // Reap drained workers.
   std::erase_if(draining_, [](const std::unique_ptr<Worker>& w) {
     return w->state() == WorkerState::kDead;

@@ -66,6 +66,11 @@ class Supervisor {
   std::unique_ptr<sim::PeriodicTask> sync_task_;
   std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
   bool active_ = true;
+  /// Fingerprint of the published assignments at the last full sync; when
+  /// unchanged (and no worker is dead or draining) the sync is a no-op, so
+  /// the periodic rebuild of the desired-state maps — the last steady-state
+  /// allocation source in the control plane — is skipped entirely.
+  std::uint64_t sync_fingerprint_ = 0;
 };
 
 }  // namespace tstorm::runtime

@@ -19,24 +19,22 @@ TupleTracker::TupleTracker(Cluster& cluster,
 
 void TupleTracker::register_root(std::uint64_t root_id,
                                  sched::TaskId spout_task,
-                                 std::shared_ptr<const topo::Tuple> tuple,
-                                 int attempt) {
+                                 topo::TupleRef tuple, int attempt) {
   // A forced re-registration of a tracked root id (spouts re-draw against
   // contains(), but direct callers can still collide) must not overwrite
   // live accounting: settle the old entry first. A live predecessor is
   // recorded as failed (its ack can never be told apart from ours again);
   // a failed one just loses the rest of its late-ack grace window.
-  if (auto old = entries_.find(root_id); old != entries_.end()) {
-    Entry& stale = old->second;
-    if (!stale.failed) {
-      cluster_.sim().cancel(stale.timeout_event);
+  if (Entry* stale = entries_.find(root_id); stale != nullptr) {
+    if (!stale->failed) {
+      cluster_.sim().cancel(stale->timeout_event);
       recorder_.record_failure(cluster_.sim().now());
-      if (--pending_[stale.spout_task] <= 0) {
-        pending_.erase(stale.spout_task);
+      if (--pending_[stale->spout_task] <= 0) {
+        pending_.erase(stale->spout_task);
       }
       --in_flight_;
     }
-    entries_.erase(old);
+    entries_.erase(root_id);
   }
   Entry e;
   e.spout_task = spout_task;
@@ -55,9 +53,9 @@ void TupleTracker::register_root(std::uint64_t root_id,
 }
 
 void TupleTracker::on_ack_complete(std::uint64_t root_id) {
-  auto it = entries_.find(root_id);
-  if (it == entries_.end()) return;  // duplicate ack
-  Entry& e = it->second;
+  Entry* it = entries_.find(root_id);
+  if (it == nullptr) return;  // duplicate ack
+  Entry& e = *it;
   if (e.failed) {
     // Acked after the timeout fired: the work did complete, just too late
     // (paper Fig. 3 shows processing times far beyond the 30 s timeout).
@@ -72,7 +70,7 @@ void TupleTracker::on_ack_complete(std::uint64_t root_id) {
     if (--pending_[e.spout_task] <= 0) pending_.erase(e.spout_task);
     --in_flight_;
   }
-  entries_.erase(it);
+  entries_.erase(root_id);
   cluster_.tuple_trace().finish_root(root_id, cluster_.sim().now(),
                                      /*completed=*/true);
 }
@@ -92,8 +90,7 @@ double TupleTracker::backoff_delay(int attempt) const {
 }
 
 void TupleTracker::dispatch_replay(sched::TaskId spout_task,
-                                   std::shared_ptr<const topo::Tuple> tuple,
-                                   int attempt) {
+                                   topo::TupleRef tuple, int attempt) {
   recorder_.record_replay(cluster_.sim().now());
   Envelope replay;
   replay.kind = MsgKind::kReplay;
@@ -107,9 +104,9 @@ void TupleTracker::dispatch_replay(sched::TaskId spout_task,
 }
 
 void TupleTracker::on_timeout(std::uint64_t root_id, std::uint64_t epoch) {
-  auto it = entries_.find(root_id);
-  if (it == entries_.end() || it->second.epoch != epoch) return;
-  Entry& e = it->second;
+  Entry* it = entries_.find(root_id);
+  if (it == nullptr || it->epoch != epoch) return;
+  Entry& e = *it;
   e.timeout_event = sim::kInvalidEvent;
   e.failed = true;
   recorder_.record_failure(cluster_.sim().now());
@@ -131,11 +128,13 @@ void TupleTracker::on_timeout(std::uint64_t root_id, std::uint64_t epoch) {
     if (delay <= 0.0) {
       dispatch_replay(e.spout_task, e.tuple, e.attempt + 1);
     } else {
-      // Captures {this, shared_ptr, task, attempt} = 32 bytes: inside
-      // InlineFn's inline buffer, no heap allocation per replay.
+      // Captures {this, TupleRef, task, attempt} = 24 bytes: inside
+      // InlineFn's inline buffer, no heap allocation per replay. The ref
+      // keeps the pooled tuple alive until the replay dispatches, even if
+      // the tracker entry is erased meanwhile.
       const sched::TaskId spout_task = e.spout_task;
       const int attempt = e.attempt + 1;
-      std::shared_ptr<const topo::Tuple> tuple = e.tuple;
+      topo::TupleRef tuple = e.tuple;
       cluster_.sim().schedule_after(
           delay, [this, tuple = std::move(tuple), spout_task, attempt] {
             dispatch_replay(spout_task, tuple, attempt);
@@ -150,17 +149,16 @@ void TupleTracker::on_timeout(std::uint64_t root_id, std::uint64_t epoch) {
       cluster_.config().late_ack_grace_factor *
           cluster_.config().tuple_timeout,
       [this, root_id, epoch] {
-        auto eit = entries_.find(root_id);
-        if (eit != entries_.end() && eit->second.epoch == epoch &&
-            eit->second.failed) {
-          entries_.erase(eit);
+        const Entry* eit = entries_.find(root_id);
+        if (eit != nullptr && eit->epoch == epoch && eit->failed) {
+          entries_.erase(root_id);
         }
       });
 }
 
 int TupleTracker::pending(sched::TaskId spout_task) const {
-  auto it = pending_.find(spout_task);
-  return it == pending_.end() ? 0 : it->second;
+  const int* it = pending_.find(spout_task);
+  return it == nullptr ? 0 : *it;
 }
 
 }  // namespace tstorm::runtime

@@ -7,11 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 
 #include "metrics/completion.h"
 #include "sched/types.h"
+#include "sim/flat_map.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 #include "topo/tuple.h"
@@ -25,10 +24,10 @@ class TupleTracker {
   TupleTracker(Cluster& cluster, metrics::CompletionRecorder& recorder);
 
   /// Registers a freshly emitted root tuple and arms its timeout. The
-  /// tuple is retained for replay. Returns nothing; the caller generated
-  /// root_id (it is also the acking key).
+  /// tuple is retained for replay (one refcount bump, no copy). Returns
+  /// nothing; the caller generated root_id (it is also the acking key).
   void register_root(std::uint64_t root_id, sched::TaskId spout_task,
-                     std::shared_ptr<const topo::Tuple> tuple, int attempt);
+                     topo::TupleRef tuple, int attempt);
 
   /// Called when the spout receives kAckComplete for root_id. Records
   /// completion (late if the timeout already fired) and releases state.
@@ -82,13 +81,13 @@ class TupleTracker {
 
  private:
   void on_timeout(std::uint64_t root_id, std::uint64_t epoch);
-  void dispatch_replay(sched::TaskId spout_task,
-                       std::shared_ptr<const topo::Tuple> tuple, int attempt);
+  void dispatch_replay(sched::TaskId spout_task, topo::TupleRef tuple,
+                       int attempt);
 
   struct Entry {
     sched::TaskId spout_task = -1;
     sim::Time emit_time = 0;
-    std::shared_ptr<const topo::Tuple> tuple;
+    topo::TupleRef tuple;
     int attempt = 0;
     sim::EventId timeout_event = sim::kInvalidEvent;
     bool failed = false;
@@ -102,8 +101,11 @@ class TupleTracker {
 
   Cluster& cluster_;
   metrics::CompletionRecorder& recorder_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::unordered_map<sched::TaskId, int> pending_;
+  /// Flat maps: per-root insert/erase cycles reuse plateaued capacity, so
+  /// the steady-state tracking churn performs no heap allocation. Root
+  /// ids are never 0 and task ids never -1 (the empty-slot sentinels).
+  sim::FlatMap<std::uint64_t, Entry, 0> entries_;
+  sim::FlatMap<sched::TaskId, int, -1> pending_;
   std::size_t in_flight_ = 0;
   std::uint64_t next_epoch_ = 0;
   std::uint64_t total_registered_ = 0;

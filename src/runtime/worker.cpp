@@ -28,14 +28,13 @@ Worker::Worker(Cluster& cluster, sched::TopologyId topology,
     : cluster_(cluster),
       topology_(topology),
       slot_(slot),
+      node_id_(cluster.slot_node(slot)),
       version_(version),
       tasks_(std::move(tasks)) {}
 
 Worker::~Worker() {
   if (state_ != WorkerState::kDead) stop();
 }
-
-sched::NodeId Worker::node_id() const { return cluster_.slot_node(slot_); }
 
 void Worker::start(sim::Time delay, sim::Time spout_halt_delay) {
   assert(state_ == WorkerState::kStarting);

@@ -47,7 +47,9 @@ class Worker {
   [[nodiscard]] WorkerState state() const { return state_; }
   [[nodiscard]] sched::TopologyId topology() const { return topology_; }
   [[nodiscard]] sched::SlotIndex slot() const { return slot_; }
-  [[nodiscard]] sched::NodeId node_id() const;
+  /// Cached at construction (slots never move between nodes); this is on
+  /// the per-envelope path, so no repeated slot->node search.
+  [[nodiscard]] sched::NodeId node_id() const { return node_id_; }
   [[nodiscard]] sched::AssignmentVersion version() const { return version_; }
   [[nodiscard]] const std::vector<sched::TaskId>& tasks() const {
     return tasks_;
@@ -63,6 +65,7 @@ class Worker {
   Cluster& cluster_;
   sched::TopologyId topology_;
   sched::SlotIndex slot_;
+  sched::NodeId node_id_;
   sched::AssignmentVersion version_;
   std::vector<sched::TaskId> tasks_;
   std::vector<std::unique_ptr<Executor>> executors_;

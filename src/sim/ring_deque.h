@@ -1,0 +1,104 @@
+// Circular-buffer deque. Replaces std::deque for executor queues and
+// replay buffers: libstdc++'s deque allocates/frees a chunk roughly every
+// few dozen push/pop cycles even at constant depth, which breaks the
+// steady-state zero-allocation guarantee. RingDeque's capacity plateaus at
+// the high-water mark and is reused forever. Supports the indexed scan +
+// mid-queue erase the load-shedding path needs.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tstorm::sim {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T& front() noexcept {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const noexcept {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask()];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask()];
+  }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask()] = std::move(v);
+    ++size_;
+  }
+
+  T pop_front() noexcept {
+    assert(size_ > 0);
+    T out = std::move(buf_[head_]);
+    buf_[head_] = T{};  // release resources held by the vacated slot
+    head_ = (head_ + 1) & mask();
+    --size_;
+    return out;
+  }
+
+  /// Removes element i, shifting the shorter side toward the gap.
+  void erase_at(std::size_t i) noexcept {
+    assert(i < size_);
+    if (i < size_ / 2) {
+      // Shift the front segment back by one.
+      for (std::size_t k = i; k > 0; --k) {
+        (*this)[k] = std::move((*this)[k - 1]);
+      }
+      buf_[head_] = T{};
+      head_ = (head_ + 1) & mask();
+    } else {
+      for (std::size_t k = i; k + 1 < size_; ++k) {
+        (*this)[k] = std::move((*this)[k + 1]);
+      }
+      buf_[(head_ + size_ - 1) & mask()] = T{};
+    }
+    --size_;
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      buf_[(head_ + i) & mask()] = T{};
+    }
+    head_ = 0;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t mask() const noexcept { return buf_.size() - 1; }
+
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> wider(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      wider[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(wider);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  // power-of-two length
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tstorm::sim

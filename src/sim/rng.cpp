@@ -101,11 +101,16 @@ std::uint64_t Rng::poisson(double mean) {
 std::uint64_t Rng::zipf(std::uint64_t n, double s) {
   assert(n > 0);
   // Inverse-CDF via rejection (Devroye); adequate for workload generation.
-  const double b = std::pow(2.0, s - 1.0);
+  if (s != zipf_s_) {
+    zipf_s_ = s;
+    zipf_b_ = std::pow(2.0, s - 1.0);
+    zipf_inv_ = -1.0 / (s - 1.0);
+  }
+  const double b = zipf_b_;
   for (;;) {
     const double u = uniform();
     const double v = uniform();
-    const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+    const double x = std::floor(std::pow(u, zipf_inv_));
     if (x < 1.0 || x > static_cast<double>(n)) continue;
     const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
     if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {

@@ -49,6 +49,13 @@ class Rng {
 
  private:
   std::uint64_t s_[4];
+  // Memoized zipf constants: the rejection sampler needs pow(2, s-1) and
+  // -1/(s-1), both functions of the exponent alone. Workload generators
+  // call zipf with a fixed exponent per stream, so these are computed once
+  // instead of per draw. Pure caching — the draw sequence is unchanged.
+  double zipf_s_ = 0.0;
+  double zipf_b_ = 0.0;
+  double zipf_inv_ = 0.0;
 };
 
 }  // namespace tstorm::sim

@@ -1,9 +1,83 @@
 #include "topo/tuple.h"
 
+#include <algorithm>
 #include <bit>
-#include <cstring>
+#include <new>
+#include <vector>
 
 namespace tstorm::topo {
+namespace detail {
+namespace {
+
+// ------------------------------------------------------------- byte pool
+// Power-of-two size classes 32 B .. 64 KiB. A freed buffer stores the next
+// freelist pointer in its own first 8 bytes; the static class heads keep
+// every parked buffer reachable for leak checkers. Buffers above the top
+// class use plain operator new/delete (outside the pooled regime — large
+// one-off payloads, not the steady-state tuple flow).
+constexpr std::size_t kMinClassShift = 5;   // 32 B
+constexpr std::size_t kMaxClassShift = 16;  // 64 KiB
+constexpr std::size_t kNumClasses = kMaxClassShift - kMinClassShift + 1;
+
+struct FreeNode {
+  FreeNode* next;
+};
+
+FreeNode* g_free[kNumClasses] = {};
+
+std::size_t class_for(std::size_t n) {
+  const auto needed = std::max<std::size_t>(n, std::size_t{1}
+                                                   << kMinClassShift);
+  const auto shift = std::bit_width(needed - 1);
+  return static_cast<std::size_t>(shift) - kMinClassShift;
+}
+
+// ------------------------------------------------------------ tuple slabs
+// Blocks are carved 64 at a time; slab pointers are retained in a static
+// vector so blocks stay reachable. Blocks are never destroyed — recycling
+// move-assigns an empty Tuple (returning its buffers to the byte pool) and
+// parks the block on the freelist.
+constexpr std::size_t kBlocksPerSlab = 64;
+
+}  // namespace
+
+TuplePoolStats& tuple_pool_stats() {
+  static TuplePoolStats stats;
+  return stats;
+}
+
+void* byte_pool_alloc(std::size_t n, std::uint32_t& cap) {
+  if (n > (std::size_t{1} << kMaxClassShift)) {
+    cap = static_cast<std::uint32_t>(n);
+    return ::operator new(n);
+  }
+  const std::size_t cls = class_for(n);
+  cap = static_cast<std::uint32_t>(std::size_t{1}
+                                   << (cls + kMinClassShift));
+  TuplePoolStats& stats = tuple_pool_stats();
+  ++stats.string_buffers;
+  if (FreeNode* node = g_free[cls]; node != nullptr) {
+    g_free[cls] = node->next;
+    return node;
+  }
+  ++stats.string_carved;
+  return ::operator new(cap);
+}
+
+void byte_pool_free(void* p, std::uint32_t cap) noexcept {
+  if (cap > (std::uint32_t{1} << kMaxClassShift)) {
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t cls = class_for(cap);
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = g_free[cls];
+  g_free[cls] = node;
+  --tuple_pool_stats().string_buffers;
+}
+
+}  // namespace detail
+
 namespace {
 
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
@@ -22,38 +96,166 @@ std::uint64_t fnv1a(const void* data, std::size_t len,
 }  // namespace
 
 std::uint64_t hash_value(const Value& v) {
-  return std::visit(
-      [](const auto& x) -> std::uint64_t {
-        using T = std::decay_t<decltype(x)>;
-        if constexpr (std::is_same_v<T, std::string>) {
-          return fnv1a(x.data(), x.size());
-        } else if constexpr (std::is_same_v<T, double>) {
-          const auto bits = std::bit_cast<std::uint64_t>(x);
-          return fnv1a(&bits, sizeof(bits));
-        } else {
-          return fnv1a(&x, sizeof(x));
-        }
-      },
-      v);
+  switch (v.kind()) {
+    case Value::Kind::kString: {
+      const std::string_view s = v.as_string();
+      return fnv1a(s.data(), s.size());
+    }
+    case Value::Kind::kDouble: {
+      const auto bits = std::bit_cast<std::uint64_t>(v.as_double());
+      return fnv1a(&bits, sizeof(bits));
+    }
+    case Value::Kind::kInt: {
+      const std::int64_t x = v.as_int();
+      return fnv1a(&x, sizeof(x));
+    }
+  }
+  return kFnvOffset;  // unreachable
 }
 
 std::uint64_t value_bytes(const Value& v) {
-  return std::visit(
-      [](const auto& x) -> std::uint64_t {
-        using T = std::decay_t<decltype(x)>;
-        if constexpr (std::is_same_v<T, std::string>) {
-          return x.size() + 4;  // length-prefixed string
-        } else {
-          return 8;
-        }
-      },
-      v);
+  return v.kind() == Value::Kind::kString
+             ? v.as_string().size() + 4  // length-prefixed string
+             : 8;
 }
 
-std::uint64_t Tuple::bytes() const {
-  std::uint64_t total = 8;  // tuple framing
-  for (const auto& v : values_) total += value_bytes(v);
-  return total;
+// ------------------------------------------------------------------ Tuple
+
+void Tuple::reserve(std::size_t n) {
+  if (n <= cap_) return;
+  std::uint32_t new_bytes = 0;
+  auto* wider = static_cast<Value*>(
+      detail::byte_pool_alloc(n * sizeof(Value), new_bytes));
+  Value* old = slots();
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    ::new (wider + i) Value(std::move(old[i]));
+    old[i].~Value();
+  }
+  if (spill_ != nullptr) detail::byte_pool_free(spill_, spill_bytes_);
+  spill_ = wider;
+  spill_bytes_ = new_bytes;
+  cap_ = new_bytes / sizeof(Value);
+}
+
+void Tuple::append(Value&& v) {
+  if (size_ == cap_) reserve(static_cast<std::size_t>(cap_) * 2);
+  bytes_ += value_bytes(v);
+  if (spill_ != nullptr) {
+    ::new (spill_ + size_) Value(std::move(v));
+  } else {
+    inline_[size_] = std::move(v);
+  }
+  ++size_;
+}
+
+void Tuple::destroy() noexcept {
+  if (spill_ != nullptr) {
+    for (std::uint32_t i = 0; i < size_; ++i) spill_[i].~Value();
+    detail::byte_pool_free(spill_, spill_bytes_);
+    spill_ = nullptr;
+  } else {
+    // Inline values release their pooled strings on assignment/dtor.
+    for (std::uint32_t i = 0; i < size_; ++i) inline_[i] = Value();
+  }
+  size_ = 0;
+  cap_ = kInlineValues;
+  spill_bytes_ = 0;
+  bytes_ = 8;
+  hash_field_ = -1;
+}
+
+void Tuple::copy_from(const Tuple& o) {
+  if (o.size_ > kInlineValues) reserve(o.size_);
+  const Value* src = o.slots();
+  Value* dst = slots();
+  for (std::uint32_t i = 0; i < o.size_; ++i) {
+    if (spill_ != nullptr) {
+      ::new (dst + i) Value(src[i]);
+    } else {
+      dst[i] = src[i];
+    }
+  }
+  size_ = o.size_;
+  bytes_ = o.bytes_;
+  hash_field_ = o.hash_field_;
+  hash_cache_ = o.hash_cache_;
+}
+
+void Tuple::steal_from(Tuple& o) noexcept {
+  if (o.spill_ != nullptr) {
+    spill_ = o.spill_;
+    spill_bytes_ = o.spill_bytes_;
+    cap_ = o.cap_;
+    o.spill_ = nullptr;
+  } else {
+    for (std::uint32_t i = 0; i < o.size_; ++i) {
+      inline_[i] = std::move(o.inline_[i]);
+    }
+  }
+  size_ = o.size_;
+  bytes_ = o.bytes_;
+  hash_field_ = o.hash_field_;
+  hash_cache_ = o.hash_cache_;
+  o.size_ = 0;
+  o.cap_ = kInlineValues;
+  o.spill_bytes_ = 0;
+  o.bytes_ = 8;
+  o.hash_field_ = -1;
+}
+
+// --------------------------------------------------------------- TupleRef
+
+namespace {
+
+std::vector<void*>& block_slabs() {
+  static std::vector<void*> slabs;
+  return slabs;
+}
+
+}  // namespace
+
+TupleRef::Block*& TupleRef::free_head() noexcept {
+  static Block* head = nullptr;
+  return head;
+}
+
+TupleRef TupleRef::make(Tuple&& t) {
+  detail::TuplePoolStats& stats = detail::tuple_pool_stats();
+  Block*& g_block_free = free_head();
+  Block* b = g_block_free;
+  if (b != nullptr) {
+    g_block_free = b->next_free;
+    ++stats.block_reuses;
+  } else {
+    auto* slab = static_cast<Block*>(
+        ::operator new(detail::kBlocksPerSlab * sizeof(Block)));
+    block_slabs().push_back(slab);
+    stats.blocks_carved += detail::kBlocksPerSlab;
+    for (std::size_t i = 0; i < detail::kBlocksPerSlab; ++i) {
+      Block* fresh = ::new (slab + i) Block;
+      fresh->next_free = g_block_free;
+      g_block_free = fresh;
+    }
+    b = g_block_free;
+    g_block_free = b->next_free;
+  }
+  b->refs = 1;
+  b->next_free = nullptr;
+  b->tuple = std::move(t);
+  ++stats.live_blocks;
+  return TupleRef(b);
+}
+
+void TupleRef::release() noexcept {
+  if (b_ == nullptr) return;
+  if (--b_->refs == 0) {
+    // Recycle: return the tuple's pooled buffers, park the block.
+    Block*& head = free_head();
+    b_->tuple = Tuple();
+    b_->next_free = head;
+    head = b_;
+    --detail::tuple_pool_stats().live_blocks;
+  }
 }
 
 }  // namespace tstorm::topo

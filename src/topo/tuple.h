@@ -1,18 +1,157 @@
 // Tuples: the unit of data flowing through a topology. A tuple is an
 // ordered list of typed values; field names come from the emitting
 // component's declared output fields (as in Storm's declareOutputFields).
+//
+// The whole tuple path is allocation-free in steady state (the same
+// guarantee sim::InlineFn gives event closures):
+//
+//   Value    — 32-byte tagged union. Strings up to kInlineChars live
+//              inline; longer payloads borrow a buffer from a size-class
+//              freelist pool (returned on destruction, never freed).
+//   Tuple    — up to kInlineValues values inline, wider tuples spill into
+//              a pooled array. Wire size is computed once at construction
+//              and the fields-grouping hash is memoized per field.
+//   TupleRef — intrusive non-atomic refcount over a slab/freelist pool of
+//              tuple blocks, replacing std::shared_ptr<const Tuple> (no
+//              control-block allocation, no atomic traffic). The block is
+//              recycled on last release.
+//
+// The simulator is single-threaded; the pools are process-wide statics
+// (shared across Cluster instances, like the InlineFn closure pool) and
+// are intentionally never torn down, so freed slots stay reachable for
+// leak checkers. tuple_pool_stats().live_blocks must return to zero after
+// a cluster is destroyed — the chaos soak asserts it.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <initializer_list>
-#include <memory>
+#include <cstring>
 #include <string>
-#include <variant>
-#include <vector>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>  // std::bad_variant_access, thrown by typed getters
 
 namespace tstorm::topo {
 
-using Value = std::variant<std::int64_t, double, std::string>;
+namespace detail {
+
+/// Borrow/return byte buffers from power-of-two size-class freelists
+/// (32 B .. 64 KiB). Larger requests fall through to operator new and are
+/// the caller's signal that it left the pooled regime. `cap` receives the
+/// usable capacity and must be passed back verbatim to free.
+[[nodiscard]] void* byte_pool_alloc(std::size_t n, std::uint32_t& cap);
+void byte_pool_free(void* p, std::uint32_t cap) noexcept;
+
+struct TuplePoolStats {
+  std::uint64_t blocks_carved = 0;    // tuple blocks ever carved from slabs
+  std::uint64_t block_reuses = 0;     // make() calls served from the freelist
+  std::uint64_t live_blocks = 0;      // blocks currently owned by TupleRefs
+  std::uint64_t string_buffers = 0;   // byte-pool buffers currently lent out
+  std::uint64_t string_carved = 0;    // byte-pool buffers ever created
+};
+TuplePoolStats& tuple_pool_stats();
+
+}  // namespace detail
+
+/// One typed value. 32 bytes; short strings never touch the heap.
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kInt, kDouble, kString };
+  static constexpr std::size_t kInlineChars = 22;
+
+  Value() noexcept { u_.i = 0; }
+  Value(std::int64_t v) noexcept : tag_(Kind::kInt) { u_.i = v; }
+  Value(int v) noexcept : Value(static_cast<std::int64_t>(v)) {}
+  Value(double v) noexcept : tag_(Kind::kDouble) { u_.d = v; }
+  Value(std::string_view s) : tag_(Kind::kString) { set_string(s); }
+  Value(const std::string& s) : Value(std::string_view(s)) {}
+  Value(const char* s) : Value(std::string_view(s)) {}
+
+  Value(const Value& o) { copy_from(o); }
+  Value(Value&& o) noexcept { steal_from(o); }
+  Value& operator=(const Value& o) {
+    if (this != &o) {
+      release();
+      copy_from(o);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal_from(o);
+    }
+    return *this;
+  }
+  ~Value() { release(); }
+
+  [[nodiscard]] Kind kind() const noexcept { return tag_; }
+
+  /// Unchecked typed reads (the Tuple getters enforce the tag).
+  [[nodiscard]] std::int64_t as_int() const noexcept {
+    assert(tag_ == Kind::kInt);
+    return u_.i;
+  }
+  [[nodiscard]] double as_double() const noexcept {
+    assert(tag_ == Kind::kDouble);
+    return u_.d;
+  }
+  [[nodiscard]] std::string_view as_string() const noexcept {
+    assert(tag_ == Kind::kString);
+    return slen_ <= kInlineChars ? std::string_view(u_.inl, slen_)
+                                 : std::string_view(u_.heap.ptr, slen_);
+  }
+
+ private:
+  void set_string(std::string_view s) {
+    slen_ = static_cast<std::uint32_t>(s.size());
+    if (s.size() <= kInlineChars) {
+      std::memcpy(u_.inl, s.data(), s.size());
+    } else {
+      u_.heap.ptr =
+          static_cast<char*>(detail::byte_pool_alloc(s.size(), u_.heap.cap));
+      std::memcpy(u_.heap.ptr, s.data(), s.size());
+    }
+  }
+  void release() noexcept {
+    if (tag_ == Kind::kString && slen_ > kInlineChars) {
+      detail::byte_pool_free(u_.heap.ptr, u_.heap.cap);
+    }
+  }
+  void copy_from(const Value& o) {
+    tag_ = o.tag_;
+    slen_ = o.slen_;
+    if (tag_ == Kind::kString && slen_ > kInlineChars) {
+      u_.heap.ptr =
+          static_cast<char*>(detail::byte_pool_alloc(slen_, u_.heap.cap));
+      std::memcpy(u_.heap.ptr, o.u_.heap.ptr, slen_);
+    } else {
+      u_ = o.u_;
+    }
+  }
+  void steal_from(Value& o) noexcept {
+    tag_ = o.tag_;
+    slen_ = o.slen_;
+    u_ = o.u_;
+    o.tag_ = Kind::kInt;  // source no longer owns the pooled buffer
+    o.u_.i = 0;
+    o.slen_ = 0;
+  }
+
+  union Storage {
+    std::int64_t i;
+    double d;
+    char inl[kInlineChars];
+    struct {
+      char* ptr;
+      std::uint32_t cap;  // byte-pool capacity, echoed back on free
+    } heap;
+  } u_;
+  Kind tag_ = Kind::kInt;
+  std::uint32_t slen_ = 0;  // string length (both inline and pooled)
+};
+static_assert(sizeof(Value) == 32, "Value is sized for 4-per-cacheline-pair");
 
 /// Stable 64-bit hash of a value; drives fields grouping. Deterministic
 /// across platforms (FNV-1a on the canonical byte representation).
@@ -23,30 +162,164 @@ std::uint64_t value_bytes(const Value& v);
 
 class Tuple {
  public:
-  Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  static constexpr std::size_t kInlineValues = 4;
 
-  [[nodiscard]] std::size_t size() const { return values_.size(); }
-  [[nodiscard]] bool empty() const { return values_.empty(); }
-  [[nodiscard]] const Value& at(std::size_t i) const { return values_.at(i); }
-  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+  Tuple() noexcept = default;
+
+  template <typename... Args,
+            typename = std::enable_if_t<
+                (sizeof...(Args) > 0) &&
+                (std::is_constructible_v<Value, Args&&> && ...) &&
+                !(sizeof...(Args) == 1 &&
+                  (std::is_same_v<std::remove_cvref_t<Args>, Tuple> || ...))>>
+  Tuple(Args&&... args) {
+    reserve(sizeof...(Args));
+    (append(Value(std::forward<Args>(args))), ...);
+  }
+
+  Tuple(const Tuple& o) { copy_from(o); }
+  Tuple(Tuple&& o) noexcept { steal_from(o); }
+  Tuple& operator=(const Tuple& o) {
+    if (this != &o) {
+      destroy();
+      copy_from(o);
+    }
+    return *this;
+  }
+  Tuple& operator=(Tuple&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      steal_from(o);
+    }
+    return *this;
+  }
+  ~Tuple() { destroy(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Unchecked in release builds (debug asserts), per the engine's
+  /// debug-assert/release-clamp convention — emitters index fields they
+  /// declared, so the bound holds by construction.
+  [[nodiscard]] const Value& at(std::size_t i) const noexcept {
+    assert(i < size_);
+    return slots()[i];
+  }
 
   [[nodiscard]] std::int64_t get_int(std::size_t i) const {
-    return std::get<std::int64_t>(values_.at(i));
+    return checked(i, Value::Kind::kInt).as_int();
   }
   [[nodiscard]] double get_double(std::size_t i) const {
-    return std::get<double>(values_.at(i));
+    return checked(i, Value::Kind::kDouble).as_double();
   }
-  [[nodiscard]] const std::string& get_string(std::size_t i) const {
-    return std::get<std::string>(values_.at(i));
+  [[nodiscard]] std::string_view get_string(std::size_t i) const {
+    return checked(i, Value::Kind::kString).as_string();
   }
 
-  /// Approximate wire size, used by the network model.
-  [[nodiscard]] std::uint64_t bytes() const;
+  /// Approximate wire size, used by the network model. Computed once at
+  /// construction — Envelope::bytes() runs per send and per network hop.
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+  /// hash_value(at(i)), memoized: fields grouping hashes the same declared
+  /// field on every hop that routes this tuple.
+  [[nodiscard]] std::uint64_t field_hash(std::size_t i) const {
+    if (hash_field_ != static_cast<std::int32_t>(i)) {
+      hash_cache_ = hash_value(at(i));
+      hash_field_ = static_cast<std::int32_t>(i);
+    }
+    return hash_cache_;
+  }
 
  private:
-  std::vector<Value> values_;
+  [[nodiscard]] const Value* slots() const noexcept {
+    return spill_ != nullptr ? spill_ : inline_;
+  }
+  [[nodiscard]] Value* slots() noexcept {
+    return spill_ != nullptr ? spill_ : inline_;
+  }
+  [[nodiscard]] const Value& checked(std::size_t i, Value::Kind k) const {
+    const Value& v = at(i);
+    if (v.kind() != k) throw std::bad_variant_access{};
+    return v;
+  }
+
+  void reserve(std::size_t n);
+  void append(Value&& v);
+  void destroy() noexcept;
+  void copy_from(const Tuple& o);
+  void steal_from(Tuple& o) noexcept;
+
+  Value inline_[kInlineValues];
+  Value* spill_ = nullptr;  // pooled Value array when size() > kInlineValues
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInlineValues;
+  std::uint32_t spill_bytes_ = 0;  // byte-pool capacity of spill_
+  std::uint64_t bytes_ = 8;        // cached wire size (8 = tuple framing)
+  mutable std::int32_t hash_field_ = -1;
+  mutable std::uint64_t hash_cache_ = 0;
+};
+
+/// Intrusive refcounted handle to a pooled immutable tuple. Replaces
+/// std::shared_ptr<const Tuple> on the envelope/tracker/replay path: one
+/// 8-byte pointer, non-atomic count (single-threaded sim), block recycled
+/// into a freelist on last release.
+class TupleRef {
+ public:
+  TupleRef() noexcept = default;
+  TupleRef(const TupleRef& o) noexcept : b_(o.b_) {
+    if (b_ != nullptr) ++b_->refs;
+  }
+  TupleRef(TupleRef&& o) noexcept : b_(o.b_) { o.b_ = nullptr; }
+  TupleRef& operator=(const TupleRef& o) noexcept {
+    if (b_ != o.b_) {
+      release();
+      b_ = o.b_;
+      if (b_ != nullptr) ++b_->refs;
+    }
+    return *this;
+  }
+  TupleRef& operator=(TupleRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      b_ = o.b_;
+      o.b_ = nullptr;
+    }
+    return *this;
+  }
+  ~TupleRef() { release(); }
+
+  /// Moves `t` into a pooled block with refcount 1.
+  [[nodiscard]] static TupleRef make(Tuple&& t);
+
+  void reset() noexcept {
+    release();
+    b_ = nullptr;
+  }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return b_ != nullptr;
+  }
+  [[nodiscard]] const Tuple& operator*() const noexcept { return b_->tuple; }
+  [[nodiscard]] const Tuple* operator->() const noexcept {
+    return &b_->tuple;
+  }
+  [[nodiscard]] std::uint32_t use_count() const noexcept {
+    return b_ != nullptr ? b_->refs : 0;
+  }
+
+ private:
+  struct Block {
+    std::uint32_t refs = 0;
+    Block* next_free = nullptr;
+    Tuple tuple;
+  };
+
+  explicit TupleRef(Block* b) noexcept : b_(b) {}
+  void release() noexcept;
+  // Process-wide freelist head; a static local so the chain stays reachable
+  // for LeakSanitizer (same idiom as sim::InlineFn's pools).
+  static Block*& free_head() noexcept;
+
+  Block* b_ = nullptr;
 };
 
 }  // namespace tstorm::topo

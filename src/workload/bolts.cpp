@@ -1,5 +1,7 @@
 #include "workload/bolts.h"
 
+#include <charconv>
+
 #include "sim/rng.h"
 
 namespace tstorm::workload {
@@ -13,16 +15,19 @@ RandomStringSpout::RandomStringSpout(std::size_t payload_bytes,
 
 std::optional<topo::Tuple> RandomStringSpout::next_tuple() {
   // A fresh "random" payload per emission without regenerating 10K chars:
-  // stamp a counter into the shared base (the network model only sees the
-  // byte count; the stamp keeps payloads distinct for fields grouping).
-  std::string payload = base_;
-  const auto stamp = std::to_string(counter_++);
-  payload.replace(0, stamp.size(), stamp);
-  return topo::Tuple{std::move(payload)};
+  // stamp a counter into the reused base buffer in place (the network
+  // model only sees the byte count; the stamp keeps payloads distinct for
+  // fields grouping). The tuple copies the buffer into pooled storage.
+  char stamp[24];
+  const auto* end = std::to_chars(stamp, stamp + sizeof stamp, counter_++).ptr;
+  base_.replace(0, static_cast<std::size_t>(end - stamp), stamp,
+                static_cast<std::size_t>(end - stamp));
+  return topo::Tuple{std::string_view(base_)};
 }
 
 QueueSpout::QueueSpout(std::shared_ptr<ExternalQueue> queue,
-                       std::function<std::string()> make_line, double cost_mc)
+                       std::function<std::string_view()> make_line,
+                       double cost_mc)
     : queue_(std::move(queue)),
       make_line_(std::move(make_line)),
       cost_mc_(cost_mc) {}
@@ -34,8 +39,16 @@ std::optional<topo::Tuple> QueueSpout::next_tuple() {
 
 void SplitSentenceBolt::execute(const topo::Tuple& input,
                                 topo::BoltContext& ctx) {
-  for (auto& word : split_words(input.get_string(0))) {
-    ctx.emit(topo::Tuple{std::move(word)});
+  // In-place tokenization: each word is emitted as a view into the input
+  // tuple's storage; short words land in Value's inline bytes.
+  const std::string_view line = input.get_string(0);
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) ctx.emit(topo::Tuple{line.substr(i, j - i)});
+    i = j;
   }
 }
 
@@ -49,8 +62,12 @@ double SplitSentenceBolt::cpu_cost_mega_cycles(
 
 void WordCountBolt::execute(const topo::Tuple& input,
                             topo::BoltContext& ctx) {
-  const auto& word = input.get_string(0);
-  const auto count = ++counts_[word];
+  const std::string_view word = input.get_string(0);
+  auto it = counts_.find(word);
+  if (it == counts_.end()) {
+    it = counts_.emplace(std::string(word), 0).first;
+  }
+  const auto count = ++it->second;
   ctx.emit(topo::Tuple{word, count});
 }
 

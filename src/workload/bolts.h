@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
@@ -28,17 +30,19 @@ class RandomStringSpout final : public topo::Spout {
   }
 
  private:
-  std::string base_;
+  std::string base_;  // reused payload buffer (counter stamped in place)
   double cost_mc_;
   std::uint64_t counter_ = 0;
 };
 
 /// Pulls one item per call from an external queue and emits the line
 /// synthesized by `make_line` (the Redis-consuming reader/log spouts).
+/// `make_line` returns a view into the generator's reused buffer; the
+/// spout copies it into the (pooled) tuple before the next call.
 class QueueSpout final : public topo::Spout {
  public:
   QueueSpout(std::shared_ptr<ExternalQueue> queue,
-             std::function<std::string()> make_line, double cost_mc);
+             std::function<std::string_view()> make_line, double cost_mc);
 
   std::optional<topo::Tuple> next_tuple() override;
   [[nodiscard]] double cpu_cost_mega_cycles() const override {
@@ -47,7 +51,7 @@ class QueueSpout final : public topo::Spout {
 
  private:
   std::shared_ptr<ExternalQueue> queue_;
-  std::function<std::string()> make_line_;
+  std::function<std::string_view()> make_line_;
   double cost_mc_;
 };
 
@@ -105,9 +109,24 @@ class SplitSentenceBolt final : public topo::Bolt {
   double per_word_mc_;
 };
 
+/// Transparent string hashing so unordered_map lookups take
+/// std::string_view without materializing a std::string per probe.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// WordCount: increments a per-word counter and emits (word, count).
+/// Heterogeneous lookup: once the vocabulary has been seen, execute()
+/// allocates nothing.
 class WordCountBolt final : public topo::Bolt {
  public:
+  using CountMap =
+      std::unordered_map<std::string, std::int64_t, StringHash,
+                         std::equal_to<>>;
+
   explicit WordCountBolt(double cost_mc) : cost_mc_(cost_mc) {}
 
   void execute(const topo::Tuple& input, topo::BoltContext& ctx) override;
@@ -115,14 +134,11 @@ class WordCountBolt final : public topo::Bolt {
       const topo::Tuple& /*input*/) const override {
     return cost_mc_;
   }
-  [[nodiscard]] const std::unordered_map<std::string, std::int64_t>& counts()
-      const {
-    return counts_;
-  }
+  [[nodiscard]] const CountMap& counts() const { return counts_; }
 
  private:
   double cost_mc_;
-  std::unordered_map<std::string, std::int64_t> counts_;
+  CountMap counts_;
 };
 
 /// Terminal sink persisting results into a (simulated) MongoDB: CPU for

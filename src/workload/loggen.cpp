@@ -1,5 +1,7 @@
 #include "workload/loggen.h"
 
+#include <charconv>
+
 namespace tstorm::workload {
 namespace {
 
@@ -27,6 +29,9 @@ LogGenerator::LogGenerator(Options options)
                    std::to_string(rng_.uniform_int(0, 255)) + "." +
                    std::to_string(rng_.uniform_int(1, 254)));
   }
+  // Longest possible line (fixed framing + bounded fields) fits well under
+  // this; pre-sizing keeps next_json_line() allocation-free.
+  line_.reserve(256);
 }
 
 LogRecord LogGenerator::next_record() {
@@ -40,14 +45,38 @@ LogRecord LogGenerator::next_record() {
   return r;
 }
 
-std::string LogGenerator::next_json_line() {
-  const LogRecord r = next_record();
-  std::string out = "{\"ip\":\"" + r.client_ip + "\",\"method\":\"" +
-                    r.method + "\",\"uri\":\"" + r.uri + "\",\"status\":" +
-                    std::to_string(r.status) + ",\"bytes\":" +
-                    std::to_string(r.bytes) + ",\"agent\":\"" + r.user_agent +
-                    "\"}";
-  return out;
+std::string_view LogGenerator::next_json_line() {
+  // Same RNG draw order as next_record(), but composed into the reused
+  // buffer — no per-line string allocations.
+  const std::string& ip =
+      ips_[rng_.zipf(ips_.size(), options_.zipf_exponent)];
+  const char* method = kMethods[rng_.uniform_int(0, 5)];
+  const std::string& uri =
+      uris_[rng_.zipf(uris_.size(), options_.zipf_exponent)];
+  const int status = kStatuses[rng_.uniform_int(0, 7)];
+  const auto bytes = static_cast<std::uint64_t>(rng_.exponential(8.0 * 1024));
+  const char* agent = kAgents[rng_.uniform_int(0, 3)];
+
+  char num[24];
+  line_.clear();
+  line_ += "{\"ip\":\"";
+  line_ += ip;
+  line_ += "\",\"method\":\"";
+  line_ += method;
+  line_ += "\",\"uri\":\"";
+  line_ += uri;
+  line_ += "\",\"status\":";
+  line_.append(num, static_cast<std::size_t>(
+                        std::to_chars(num, num + sizeof num, status).ptr -
+                        num));
+  line_ += ",\"bytes\":";
+  line_.append(num, static_cast<std::size_t>(
+                        std::to_chars(num, num + sizeof num, bytes).ptr -
+                        num));
+  line_ += ",\"agent\":\"";
+  line_ += agent;
+  line_ += "\"}";
+  return line_;
 }
 
 }  // namespace tstorm::workload

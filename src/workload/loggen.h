@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/rng.h"
@@ -36,14 +37,17 @@ class LogGenerator {
   /// A structured record.
   LogRecord next_record();
 
-  /// The record as the JSON value LogStash would push into Redis.
-  std::string next_json_line();
+  /// The record as the JSON value LogStash would push into Redis. The
+  /// view aliases an internal buffer reused across calls (steady-state
+  /// generation never allocates); invalidated by the next call.
+  std::string_view next_json_line();
 
  private:
   Options options_;
   sim::Rng rng_;
   std::vector<std::string> uris_;
   std::vector<std::string> ips_;
+  std::string line_;  // reused JSON buffer
 };
 
 }  // namespace tstorm::workload

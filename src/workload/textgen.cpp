@@ -1,5 +1,6 @@
 #include "workload/textgen.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace tstorm::workload {
@@ -20,6 +21,12 @@ TextGenerator::TextGenerator(Options options)
     auto w = rng_.random_string(len);
     if (seen.insert(w).second) vocab_.push_back(std::move(w));
   }
+  // Pre-size the line buffer for the longest possible line so steady-state
+  // generation never reallocates it.
+  std::size_t longest = 0;
+  for (const auto& w : vocab_) longest = std::max(longest, w.size());
+  line_.reserve(static_cast<std::size_t>(options_.max_words_per_line) *
+                (longest + 1));
 }
 
 const std::string& TextGenerator::next_word() {
@@ -27,27 +34,27 @@ const std::string& TextGenerator::next_word() {
   return vocab_[rank];
 }
 
-std::string TextGenerator::next_line() {
+std::string_view TextGenerator::next_line() {
   const auto n = rng_.uniform_int(options_.min_words_per_line,
                                   options_.max_words_per_line);
-  std::string line;
+  line_.clear();
   for (std::int64_t i = 0; i < n; ++i) {
-    if (i > 0) line += ' ';
-    line += next_word();
+    if (i > 0) line_ += ' ';
+    line_ += next_word();
   }
-  return line;
+  return line_;
 }
 
-std::vector<std::string> split_words(const std::string& line) {
+std::vector<std::string> split_words(std::string_view line) {
   std::vector<std::string> words;
   std::size_t start = 0;
   while (start < line.size()) {
     const auto end = line.find(' ', start);
-    if (end == std::string::npos) {
-      if (start < line.size()) words.push_back(line.substr(start));
+    if (end == std::string_view::npos) {
+      if (start < line.size()) words.emplace_back(line.substr(start));
       break;
     }
-    if (end > start) words.push_back(line.substr(start, end - start));
+    if (end > start) words.emplace_back(line.substr(start, end - start));
     start = end + 1;
   }
   return words;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/rng.h"
@@ -25,8 +26,11 @@ class TextGenerator {
   TextGenerator();
   explicit TextGenerator(Options options);
 
-  /// One line of space-separated words.
-  std::string next_line();
+  /// One line of space-separated words. The view aliases an internal
+  /// buffer reused across calls (pre-sized to the longest possible line,
+  /// so steady-state generation never allocates); it is invalidated by
+  /// the next next_line() call.
+  std::string_view next_line();
 
   /// A single word draw (Zipf-distributed rank).
   const std::string& next_word();
@@ -40,10 +44,11 @@ class TextGenerator {
   Options options_;
   sim::Rng rng_;
   std::vector<std::string> vocab_;
+  std::string line_;  // reused line buffer
 };
 
-/// Splits a line into words (whitespace-separated); the SplitSentence bolt
-/// uses this.
-std::vector<std::string> split_words(const std::string& line);
+/// Splits a line into words (whitespace-separated). Allocates per word —
+/// test/offline helper; the SplitSentence bolt tokenizes in place.
+std::vector<std::string> split_words(std::string_view line);
 
 }  // namespace tstorm::workload

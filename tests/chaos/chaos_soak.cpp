@@ -16,6 +16,7 @@
 #include "chaos/fault_plan.h"
 #include "core/system.h"
 #include "runtime/cluster.h"
+#include "topo/tuple.h"
 #include "workload/external_queue.h"
 #include "workload/topologies.h"
 
@@ -112,6 +113,13 @@ TEST(ChaosSoak, TwentySeedSweepPassesAuditor) {
     EXPECT_GT(out.completed, 0u) << "seed " << seed << " completed nothing";
     EXPECT_GT(out.chaos_events, 0u)
         << "seed " << seed << " injected no faults";
+    // Tuple-pool hygiene: with the cluster destroyed, every pooled tuple
+    // block and string buffer must be back on its freelist — a nonzero
+    // count here is a refcount leak on some crash/replay/drain path.
+    EXPECT_EQ(topo::detail::tuple_pool_stats().live_blocks, 0u)
+        << "seed " << seed << " leaked tuple blocks";
+    EXPECT_EQ(topo::detail::tuple_pool_stats().string_buffers, 0u)
+        << "seed " << seed << " leaked pooled string buffers";
   }
 }
 

@@ -1,0 +1,95 @@
+// Determinism invariant: two runs with the same seed must be bytewise
+// identical — same event count, same completions, and a byte-identical
+// control-plane trace dump. The pooled tuple path recycles blocks and
+// buffers in LIFO order, so any hidden dependence on allocation addresses
+// or pool state would show up here as a diverged run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/system.h"
+#include "runtime/cluster.h"
+#include "workload/external_queue.h"
+#include "workload/topologies.h"
+
+namespace tstorm::runtime {
+namespace {
+
+struct RunResult {
+  std::uint64_t events = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::string trace;
+};
+
+RunResult run_once(std::uint64_t seed, bool with_faults) {
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.seed = seed;
+  if (with_faults) {
+    cfg.failure_detection = true;
+    cfg.network.control_drop_prob = 0.02;
+    cfg.network.inter_node_drop_prob = 0.01;
+  }
+  core::StormSystem sys(sim, cfg);
+
+  workload::WordCountOptions opt;
+  opt.spouts = 1;
+  opt.splitters = 2;
+  opt.counters = 2;
+  opt.mongos = 1;
+  opt.ackers = 2;
+  opt.workers = 4;
+  opt.text.vocabulary = 256;
+  auto wc = workload::make_word_count(opt);
+  workload::QueueProducer producer(sim, *wc.queue, 120.0);
+  producer.start();
+  sys.submit(std::move(wc.topology));
+
+  sim.run_until(90.0);
+
+  RunResult r;
+  r.events = sim.events_executed();
+  r.completed = sys.cluster().completion().total_completed();
+  r.failed = sys.cluster().completion().total_failed();
+  std::ostringstream os;
+  sys.cluster().trace_log().dump(os);
+  r.trace = os.str();
+  return r;
+}
+
+TEST(Determinism, SameSeedByteIdenticalTrace) {
+  const RunResult a = run_once(42, /*with_faults=*/false);
+  const RunResult b = run_once(42, /*with_faults=*/false);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.trace, b.trace);  // byte-identical
+  EXPECT_GT(a.completed, 0u);
+  EXPECT_FALSE(a.trace.empty());
+}
+
+TEST(Determinism, SameSeedByteIdenticalUnderFaults) {
+  // Lossy-network paths draw from the cluster RNG too; replay/backoff must
+  // not perturb the sequence between identical runs.
+  const RunResult a = run_once(7, /*with_faults=*/true);
+  const RunResult b = run_once(7, /*with_faults=*/true);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  // Sanity: the comparison is not vacuous — different seeds must produce
+  // different executions.
+  const RunResult a = run_once(1, /*with_faults=*/true);
+  const RunResult b = run_once(2, /*with_faults=*/true);
+  EXPECT_NE(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace tstorm::runtime

@@ -90,8 +90,7 @@ TEST(Envelope, ByteSizing) {
 
   Envelope data;
   data.kind = MsgKind::kData;
-  data.tuple =
-      std::make_shared<const topo::Tuple>(topo::Tuple{std::string(100, 'x')});
+  data.tuple = topo::TupleRef::make(topo::Tuple{std::string(100, 'x')});
   EXPECT_EQ(data.bytes(), 28u + 8u + 104u);
 }
 

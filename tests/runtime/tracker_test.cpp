@@ -16,8 +16,8 @@ namespace {
 
 using testutil::SeqSpout;
 
-std::shared_ptr<const topo::Tuple> make_tuple(std::int64_t v) {
-  return std::make_shared<const topo::Tuple>(topo::Tuple{v});
+topo::TupleRef make_tuple(std::int64_t v) {
+  return topo::TupleRef::make(topo::Tuple{v});
 }
 
 TEST(Tracker, ContainsTracksRegistrationLifecycle) {
@@ -38,6 +38,25 @@ TEST(Tracker, ContainsTracksRegistrationLifecycle) {
   // forever (long-lived clusters cycle through many topologies/spouts).
   EXPECT_EQ(tracker.pending_spout_entries(), 0u);
   EXPECT_EQ(tracker.tracked_entries(), 0u);
+}
+
+TEST(Tracker, RetainsTupleAfterEmitterReleasesIt) {
+  // The replay contract: the tracker's entry is the last owner of a root
+  // tuple once the emitting executor shuts down and drops its queues. The
+  // pooled block must stay live (not recycled out from under a pending
+  // replay) until the root settles.
+  sim::Simulation sim;
+  Cluster cluster(sim, {});
+  auto& tracker = cluster.tracker();
+  const std::uint64_t live0 = topo::detail::tuple_pool_stats().live_blocks;
+  {
+    topo::TupleRef emitted = make_tuple(99);
+    tracker.register_root(11, /*spout_task=*/0, emitted, /*attempt=*/0);
+    // Emitter's handle dies at scope exit — executor shutdown in miniature.
+  }
+  EXPECT_EQ(topo::detail::tuple_pool_stats().live_blocks, live0 + 1);
+  tracker.on_ack_complete(11);
+  EXPECT_EQ(topo::detail::tuple_pool_stats().live_blocks, live0);
 }
 
 TEST(Tracker, ForcedCollisionOnLiveEntrySettlesPredecessor) {

@@ -1,0 +1,174 @@
+// Tuple memory model tests: intrusive refcount lifecycle, slab/freelist
+// block recycling, inline-vs-pooled string storage, and the cached wire
+// size / memoized field hash. These pin the invariants the zero-alloc
+// benchmark gate (core_event_bench --assert-zero-alloc) relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topo/tuple.h"
+
+namespace tstorm::topo {
+namespace {
+
+using detail::tuple_pool_stats;
+
+TEST(TupleRef, RefcountLifecycle) {
+  TupleRef a = TupleRef::make(Tuple{std::int64_t{7}});
+  EXPECT_TRUE(static_cast<bool>(a));
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(a->get_int(0), 7);
+
+  TupleRef b = a;  // copy bumps
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(b.use_count(), 2u);
+
+  TupleRef c = std::move(b);  // move transfers, no bump
+  EXPECT_FALSE(static_cast<bool>(b));
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(c.use_count(), 2u);
+
+  c.reset();
+  EXPECT_EQ(a.use_count(), 1u);
+  a.reset();
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(TupleRef, CopyAssignReleasesPrevious) {
+  TupleRef a = TupleRef::make(Tuple{std::int64_t{1}});
+  TupleRef b = TupleRef::make(Tuple{std::int64_t{2}});
+  const std::uint64_t live = tuple_pool_stats().live_blocks;
+  b = a;  // drops b's block (recycled), shares a's
+  EXPECT_EQ(tuple_pool_stats().live_blocks, live - 1);
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(b->get_int(0), 1);
+}
+
+TEST(TupleRef, SelfAssignIsSafe) {
+  TupleRef a = TupleRef::make(Tuple{std::int64_t{3}});
+  TupleRef& alias = a;
+  a = alias;
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(a->get_int(0), 3);
+}
+
+TEST(TupleRef, DropToZeroRecyclesBlock) {
+  // Prime: slabs carve in batches of kBlocksPerSlab, so make sure at least
+  // one block exists on the freelist before measuring.
+  { TupleRef warm = TupleRef::make(Tuple{std::int64_t{0}}); }
+
+  const std::uint64_t live0 = tuple_pool_stats().live_blocks;
+  const std::uint64_t carved0 = tuple_pool_stats().blocks_carved;
+  {
+    TupleRef a = TupleRef::make(Tuple{std::int64_t{1}});
+    EXPECT_EQ(tuple_pool_stats().live_blocks, live0 + 1);
+  }
+  EXPECT_EQ(tuple_pool_stats().live_blocks, live0);
+
+  // The next make() must reuse the freed block, not carve a new slab.
+  const std::uint64_t reuses0 = tuple_pool_stats().block_reuses;
+  TupleRef b = TupleRef::make(Tuple{std::int64_t{2}});
+  EXPECT_EQ(tuple_pool_stats().block_reuses, reuses0 + 1);
+  EXPECT_EQ(tuple_pool_stats().blocks_carved, carved0);
+  EXPECT_EQ(b->get_int(0), 2);
+}
+
+TEST(TupleRef, SteadyChurnCarvesNoNewBlocks) {
+  // Prime the pool to this test's working-set depth, then churn: block and
+  // string-buffer carve counts must both stay flat.
+  {
+    std::vector<TupleRef> warm;
+    for (int i = 0; i < 64; ++i) {
+      warm.push_back(TupleRef::make(Tuple{std::string(100, 'w'), i}));
+    }
+  }
+  const std::uint64_t carved0 = tuple_pool_stats().blocks_carved;
+  const std::uint64_t strings0 = tuple_pool_stats().string_carved;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<TupleRef> batch;
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(TupleRef::make(Tuple{std::string(100, 'x'), i}));
+    }
+  }
+  EXPECT_EQ(tuple_pool_stats().blocks_carved, carved0);
+  EXPECT_EQ(tuple_pool_stats().string_carved, strings0);
+}
+
+TEST(Value, ShortStringsStayInline) {
+  const std::uint64_t lent0 = tuple_pool_stats().string_buffers;
+  Tuple t{std::string(Value::kInlineChars, 'a')};  // exactly at the limit
+  EXPECT_EQ(tuple_pool_stats().string_buffers, lent0);
+  EXPECT_EQ(t.get_string(0), std::string(Value::kInlineChars, 'a'));
+}
+
+TEST(Value, LongStringsBorrowAndReturnPooledBuffer) {
+  const std::uint64_t lent0 = tuple_pool_stats().string_buffers;
+  {
+    Tuple t{std::string(Value::kInlineChars + 1, 'b')};
+    EXPECT_EQ(tuple_pool_stats().string_buffers, lent0 + 1);
+    EXPECT_EQ(t.get_string(0), std::string(Value::kInlineChars + 1, 'b'));
+  }
+  EXPECT_EQ(tuple_pool_stats().string_buffers, lent0);
+}
+
+TEST(Value, CopyDeepCopiesPooledString) {
+  const std::string payload(200, 'c');
+  Tuple a{payload};
+  Tuple b = a;
+  EXPECT_EQ(a.get_string(0), payload);
+  EXPECT_EQ(b.get_string(0), payload);
+  EXPECT_NE(a.get_string(0).data(), b.get_string(0).data());
+}
+
+TEST(Value, MoveTransfersPooledBuffer) {
+  const std::uint64_t lent0 = tuple_pool_stats().string_buffers;
+  Tuple a{std::string(200, 'd')};
+  EXPECT_EQ(tuple_pool_stats().string_buffers, lent0 + 1);
+  Tuple b = std::move(a);
+  EXPECT_EQ(tuple_pool_stats().string_buffers, lent0 + 1);  // no extra lease
+  EXPECT_EQ(b.get_string(0), std::string(200, 'd'));
+}
+
+TEST(Tuple, WideTupleSpillsAndReadsBack) {
+  Tuple t{std::int64_t{0}, std::int64_t{1}, std::int64_t{2}, std::int64_t{3},
+          std::int64_t{4}, std::int64_t{5}};
+  ASSERT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(t.get_int(i), static_cast<std::int64_t>(i));
+  }
+  Tuple copy = t;
+  EXPECT_EQ(copy.get_int(5), 5);
+}
+
+TEST(Tuple, BytesCachedAtConstruction) {
+  Tuple t{std::int64_t{1}, std::string(100, 'e')};
+  const std::uint64_t expect = 8 + 8 + (4 + 100);
+  EXPECT_EQ(t.bytes(), expect);
+  // Copies and moves preserve the cached size.
+  Tuple c = t;
+  EXPECT_EQ(c.bytes(), expect);
+  Tuple m = std::move(c);
+  EXPECT_EQ(m.bytes(), expect);
+}
+
+TEST(Tuple, FieldHashMemoizedAndStable) {
+  Tuple t{std::string("grouping-key"), std::int64_t{9}};
+  const std::uint64_t h0 = t.field_hash(0);
+  EXPECT_EQ(t.field_hash(0), h0);  // memoized read
+  // Switching fields re-hashes; switching back must still be correct.
+  const std::uint64_t h1 = t.field_hash(1);
+  EXPECT_NE(h0, h1);
+  EXPECT_EQ(t.field_hash(0), h0);
+
+  // Hash agrees with the free function (the grouping contract).
+  EXPECT_EQ(h0, hash_value(t.at(0)));
+
+  // Same content, different tuple => same hash (routing stability).
+  Tuple u{std::string("grouping-key")};
+  EXPECT_EQ(u.field_hash(0), h0);
+}
+
+}  // namespace
+}  // namespace tstorm::topo

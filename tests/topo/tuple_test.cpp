@@ -23,7 +23,8 @@ TEST(Tuple, EmptyTuple) {
 TEST(Tuple, WrongTypeThrows) {
   Tuple t{std::string("x")};
   EXPECT_THROW((void)t.get_int(0), std::bad_variant_access);
-  EXPECT_THROW((void)t.at(5), std::out_of_range);
+  // at() is unchecked in release builds (asserts in debug); out-of-range
+  // access is no longer a throwing path.
 }
 
 TEST(Tuple, BytesCountsStringsByLength) {
