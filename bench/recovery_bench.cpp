@@ -1,0 +1,245 @@
+// Recovery benchmark: time-to-consistent-state after losing a stateful
+// worker. A word-count topology runs with checkpointing enabled; once the
+// cluster is warm (several completed checkpoint rounds), the bench kills
+// the worker hosting a stateful bolt task and measures the recovery
+// timeline off the trace log:
+//
+//   time_to_restore_s     kill -> the replacement executor finishes
+//                         rehydrating from the durable store
+//                         (kStateRestored);
+//   time_to_consistent_s  kill -> the first checkpoint round that
+//                         completes after the restore — from that instant
+//                         the keyed state is durably consistent again
+//                         (every update up to the barrier is snapshotted
+//                         and every ack released).
+//
+// Emits BENCH_recovery.json (timeline plus checkpoint gauges: snapshot
+// bytes, round duration, interval adherence) so the robustness trajectory
+// is tracked across commits, and self-checks that recovery actually
+// happened within the configured budget.
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/system.h"
+#include "metrics/reporter.h"
+#include "runtime/cluster.h"
+#include "runtime/executor.h"
+#include "sim/simulation.h"
+#include "state/state_store.h"
+#include "trace/trace.h"
+#include "workload/external_queue.h"
+#include "workload/topologies.h"
+
+namespace {
+
+namespace rt = tstorm::runtime;
+using Clock = std::chrono::steady_clock;
+
+struct Result {
+  double kill_time = 0;
+  double restore_time = -1;
+  double consistent_time = -1;
+  double time_to_restore_s = -1;
+  double time_to_consistent_s = -1;
+  std::uint64_t checkpoints_before_kill = 0;
+  std::uint64_t checkpoints_total = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t completed_tuples = 0;
+  std::uint64_t snapshot_bytes = 0;
+  double snapshot_duration_s = 0;
+  double mean_interval_s = 0;
+  double target_interval_s = 0;
+  double wall_s = 0;
+};
+
+/// First event of `kind` strictly after `t`, or -1.
+double first_after(rt::Cluster& cluster, tstorm::trace::EventKind kind,
+                   double t) {
+  for (const tstorm::trace::Event& e : cluster.trace_log().of_kind(kind)) {
+    if (e.time > t) return e.time;
+  }
+  return -1;
+}
+
+Result run_once(double warmup, double budget) {
+  tstorm::sim::Simulation sim;
+  rt::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.seed = 99;
+  cfg.failure_detection = true;
+  cfg.tuple_timeout = 10.0;
+  cfg.replay_backoff_base = 0.5;
+  cfg.node_timeout = 9.0;
+  cfg.heartbeat_period = 2.0;
+  cfg.monitor_period = 3.0;
+  cfg.max_replays = 50;
+  cfg.state.enabled = true;
+  cfg.state.checkpoint_interval = 5.0;
+  tstorm::core::StormSystem sys(sim, cfg);
+
+  tstorm::workload::WordCountOptions opt;
+  opt.spouts = 1;
+  opt.splitters = 2;
+  opt.counters = 2;
+  opt.mongos = 1;
+  opt.ackers = 2;
+  opt.workers = 4;
+  opt.text.vocabulary = 256;
+  auto wc = tstorm::workload::make_word_count(opt);
+  tstorm::workload::QueueProducer producer(sim, *wc.queue, 80.0);
+  producer.start();
+  sys.submit(std::move(wc.topology));
+  auto& cluster = sys.cluster();
+
+  const auto t0 = Clock::now();
+  sim.run_until(warmup);
+
+  Result r;
+  r.checkpoints_before_kill = cluster.trace_log().count(
+      tstorm::trace::EventKind::kCheckpointComplete);
+
+  // Kill the worker hosting a stateful bolt task with accumulated state.
+  rt::Executor* target = nullptr;
+  for (rt::Executor* e : cluster.registered_executors()) {
+    if (e->state_store() != nullptr && e->state_store()->size() > 0) {
+      target = e;
+      break;
+    }
+  }
+  bool killed = false;
+  if (target != nullptr) {
+    for (int n = 0; n < cluster.num_nodes() && !killed; ++n) {
+      for (int p = 0; p < cluster.slots_on_node(n) && !killed; ++p) {
+        if (cluster.supervisor(n).worker_at(p) == &target->worker()) {
+          killed = cluster.kill_worker(n, p);
+        }
+      }
+    }
+  }
+  r.kill_time = sim.now();
+  if (!killed) return r;  // self-check below reports the failure
+
+  sim.run_until(warmup + budget);
+
+  r.restore_time = first_after(
+      cluster, tstorm::trace::EventKind::kStateRestored, r.kill_time);
+  if (r.restore_time >= 0) {
+    r.time_to_restore_s = r.restore_time - r.kill_time;
+    r.consistent_time = first_after(
+        cluster, tstorm::trace::EventKind::kCheckpointComplete,
+        r.restore_time);
+    if (r.consistent_time >= 0) {
+      r.time_to_consistent_s = r.consistent_time - r.kill_time;
+    }
+  }
+  r.checkpoints_total = cluster.trace_log().count(
+      tstorm::trace::EventKind::kCheckpointComplete);
+  r.restores =
+      cluster.trace_log().count(tstorm::trace::EventKind::kStateRestored);
+  r.aborted = cluster.trace_log().count(
+      tstorm::trace::EventKind::kCheckpointAborted);
+  r.completed_tuples = cluster.completion().total_completed();
+
+  const auto rows = cluster.checkpoint_gauges();
+  if (!rows.empty()) {
+    r.snapshot_bytes = rows[0].last_bytes;
+    r.snapshot_duration_s = rows[0].last_duration;
+    r.mean_interval_s = rows[0].mean_interval;
+    r.target_interval_s = rows[0].target_interval;
+  }
+  r.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return r;
+}
+
+void write_json(const std::string& path, const std::string& label,
+                const Result& r) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"recovery_bench\",\n";
+  out << "  \"label\": \"" << label << "\",\n";
+  const std::time_t now = std::time(nullptr);
+  char stamp[64];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                std::gmtime(&now));
+  out << "  \"timestamp\": \"" << stamp << "\",\n";
+  out << "  \"results\": {\n";
+  out << "    \"time_to_restore_s\": " << r.time_to_restore_s << ",\n";
+  out << "    \"time_to_consistent_s\": " << r.time_to_consistent_s << ",\n";
+  out << "    \"checkpoints_before_kill\": " << r.checkpoints_before_kill
+      << ",\n";
+  out << "    \"checkpoints_total\": " << r.checkpoints_total << ",\n";
+  out << "    \"checkpoints_aborted\": " << r.aborted << ",\n";
+  out << "    \"restores\": " << r.restores << ",\n";
+  out << "    \"completed_tuples\": " << r.completed_tuples << ",\n";
+  out << "    \"snapshot_bytes\": " << r.snapshot_bytes << ",\n";
+  out << "    \"snapshot_duration_s\": " << r.snapshot_duration_s << ",\n";
+  out << "    \"mean_checkpoint_interval_s\": " << r.mean_interval_s
+      << ",\n";
+  out << "    \"target_checkpoint_interval_s\": " << r.target_interval_s
+      << ",\n";
+  out << "    \"wall_s\": " << r.wall_s << "\n";
+  out << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_recovery.json";
+  std::string label = "current";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "usage: recovery_bench [--out FILE] [--label NAME] "
+                   "[--quick]\n";
+      return 2;
+    }
+  }
+
+  const double warmup = quick ? 30.0 : 120.0;
+  const double budget = quick ? 60.0 : 120.0;
+  const Result r = run_once(warmup, budget);
+
+  std::cout << "recovery_bench (" << (quick ? "quick" : "full")
+            << ", label=" << label << ")\n";
+  std::printf(
+      "  kill at %.1f sim-s  restore +%.3f s  consistent +%.3f s\n"
+      "  checkpoints %llu before kill, %llu total (%llu aborted), "
+      "%llu restores\n"
+      "  last snapshot %llu B in %.4f s, mean interval %.2f s "
+      "(target %.2f s)\n",
+      r.kill_time, r.time_to_restore_s, r.time_to_consistent_s,
+      static_cast<unsigned long long>(r.checkpoints_before_kill),
+      static_cast<unsigned long long>(r.checkpoints_total),
+      static_cast<unsigned long long>(r.aborted),
+      static_cast<unsigned long long>(r.restores),
+      static_cast<unsigned long long>(r.snapshot_bytes),
+      r.snapshot_duration_s, r.mean_interval_s, r.target_interval_s);
+
+  write_json(out_path, label, r);
+  std::cout << "wrote " << out_path << "\n";
+
+  // Self-check: the bench is meaningless unless the cluster checkpointed
+  // before the kill, the replacement executor restored, and state became
+  // durably consistent again within the budget.
+  if (r.checkpoints_before_kill == 0 || r.time_to_restore_s < 0 ||
+      r.time_to_consistent_s < 0) {
+    std::cerr << "FAIL: recovery did not complete (checkpoints before kill "
+              << r.checkpoints_before_kill << ", time_to_restore "
+              << r.time_to_restore_s << ", time_to_consistent "
+              << r.time_to_consistent_s << ")\n";
+    return 1;
+  }
+  return 0;
+}

@@ -21,7 +21,7 @@ trap 'rm -f "$out"' EXIT
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$(nproc)" \
   --target core_event_bench --target flow_bench \
-  --target trace_export >/dev/null
+  --target recovery_bench --target trace_export >/dev/null
 
 "$build/bench/core_event_bench" \
   --quick --assert-zero-alloc --label "$label" --out "$out"
@@ -34,6 +34,14 @@ echo >> "$repo/BENCH_history.jsonl"
 # control; the binary exits nonzero unless flow-off grows without bound
 # and flow-on stays within capacity.
 "$build/bench/flow_bench" --quick --label "$label" --out "$out"
+tr -d '\n' < "$out" >> "$repo/BENCH_history.jsonl"
+echo >> "$repo/BENCH_history.jsonl"
+
+# Recovery figures: kill the worker hosting a stateful bolt and measure
+# time-to-restore / time-to-consistent-state; the binary exits nonzero
+# unless the cluster checkpointed before the kill and recovered within
+# the budget.
+"$build/bench/recovery_bench" --quick --label "$label" --out "$out"
 tr -d '\n' < "$out" >> "$repo/BENCH_history.jsonl"
 echo >> "$repo/BENCH_history.jsonl"
 echo "appended '$label' to BENCH_history.jsonl"

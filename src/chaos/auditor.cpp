@@ -1,9 +1,11 @@
 #include "chaos/auditor.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "runtime/cluster.h"
+#include "runtime/executor.h"
 
 namespace tstorm::chaos {
 
@@ -113,6 +115,18 @@ void InvariantAuditor::check_drop_attribution(AuditReport& report) const {
                         " tuples but kLoadShed counts " +
                         std::to_string(shed_attributed));
   }
+  // And for exactly-once dedup: every replayed duplicate the state layer
+  // suppressed must be filed under kStateDedup — otherwise a suppressed
+  // tuple would look like a silent loss to the balance sheet.
+  const std::uint64_t dedup_counted = cluster_.state_dedup_suppressed();
+  const std::uint64_t dedup_attributed =
+      cluster_.dropped_by(runtime::DropCause::kStateDedup);
+  if (dedup_counted != dedup_attributed) {
+    violate(report, "dedup attribution mismatch: state layer suppressed " +
+                        std::to_string(dedup_counted) +
+                        " duplicates but kStateDedup counts " +
+                        std::to_string(dedup_attributed));
+  }
 }
 
 void InvariantAuditor::check_tracker_shape(AuditReport& report) const {
@@ -170,6 +184,65 @@ void InvariantAuditor::check_pending_bounded(AuditReport& report) const {
                         std::to_string(cluster_.sim().pending()) +
                         " events pending after quiesce (baseline bound " +
                         std::to_string(bound) + ")");
+  }
+}
+
+KeyedState InvariantAuditor::collect_keyed_state() const {
+  KeyedState out;
+  std::unordered_set<sched::TaskId> seen;
+  for (runtime::Executor* e : cluster_.registered_executors()) {
+    const state::StateStore* store = e->state_store();
+    if (store == nullptr) continue;
+    if (!seen.insert(e->task()).second) continue;
+    // Only the instance the router currently resolves to counts; a
+    // superseded instance draining out still holds a stale copy.
+    if (cluster_.resolve(e->task(),
+                         std::numeric_limits<sched::AssignmentVersion>::max()) !=
+        e) {
+      continue;
+    }
+    const std::string& comp = cluster_.task_info(e->task()).component->name;
+    store->for_each([&](const topo::Value& key, const topo::Value& value) {
+      if (value.kind() != topo::Value::Kind::kInt) return;
+      std::string flat = comp;
+      flat += '|';
+      switch (key.kind()) {
+        case topo::Value::Kind::kInt:
+          flat += std::to_string(key.as_int());
+          break;
+        case topo::Value::Kind::kDouble:
+          flat += std::to_string(key.as_double());
+          break;
+        case topo::Value::Kind::kString:
+          flat += key.as_string();
+          break;
+      }
+      out[flat] += value.as_int();
+    });
+  }
+  return out;
+}
+
+void InvariantAuditor::check_state_consistency(
+    AuditReport& report, const KeyedState& expected) const {
+  const KeyedState actual = collect_keyed_state();
+  for (const auto& [key, want] : expected) {
+    const auto it = actual.find(key);
+    const long long got = it == actual.end() ? 0 : it->second;
+    if (got != want) {
+      violate(report, "state divergence: key '" + key + "' counts " +
+                          std::to_string(got) + " but fault-free reference " +
+                          "counts " + std::to_string(want) +
+                          (got < want ? " (lost update)"
+                                      : " (double-applied update)"));
+    }
+  }
+  for (const auto& [key, got] : actual) {
+    if (expected.find(key) == expected.end() && got != 0) {
+      violate(report, "state divergence: key '" + key + "' counts " +
+                          std::to_string(got) +
+                          " but is absent from the fault-free reference");
+    }
   }
 }
 

@@ -29,6 +29,7 @@
 //     a per-tuple event leak shows up here as an unbounded count.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,11 @@ class Cluster;
 }
 
 namespace tstorm::chaos {
+
+/// Keyed-state aggregate: "component|key" -> summed integer value across
+/// the live tasks of every stateful bolt. Comparable across clusters, so
+/// a chaos run can be checked against a fault-free reference run.
+using KeyedState = std::map<std::string, long long>;
 
 struct AuditReport {
   std::vector<std::string> violations;
@@ -57,6 +63,18 @@ class InvariantAuditor {
   /// stopped and at least (1 + late_ack_grace_factor) * tuple_timeout of
   /// simulated time has passed since the last emission.
   [[nodiscard]] AuditReport check_quiesced() const;
+
+  /// Sums the live keyed state of every stateful bolt task (the instance
+  /// the router currently resolves to) into a comparable aggregate. Only
+  /// integer-valued entries participate; collect before kill_topology,
+  /// while the executors still exist.
+  [[nodiscard]] KeyedState collect_keyed_state() const;
+
+  /// State-consistency check: after quiesce, every keyed count must equal
+  /// the fault-free reference run's — a mismatch means an update was lost
+  /// or double-applied across crash/replay/restore.
+  void check_state_consistency(AuditReport& report,
+                               const KeyedState& expected) const;
 
  private:
   void check_conservation(AuditReport& report) const;

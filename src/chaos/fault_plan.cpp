@@ -170,7 +170,14 @@ FaultPlan FaultPlan::random(const RandomPlanOptions& opt, std::uint64_t seed,
 
 namespace {
 
-void apply(runtime::Cluster& cluster, const FaultAction& a) {
+// `restore_data` / `restore_ctl`: the drop probabilities to revert to when
+// a kLossSpike window closes (precomputed at inject time; unused for other
+// kinds). Reading them live at the spike's start would capture another
+// overlapping spike's elevated value and re-install it permanently at this
+// spike's end — a leak that turns a bounded fault window into steady-state
+// loss for the rest of the run.
+void apply(runtime::Cluster& cluster, const FaultAction& a,
+           double restore_data, double restore_ctl) {
   trace::Event ev;
   ev.time = cluster.sim().now();
   ev.kind = trace::EventKind::kChaosFault;
@@ -194,18 +201,15 @@ void apply(runtime::Cluster& cluster, const FaultAction& a) {
       break;
     case FaultKind::kLossSpike: {
       net::Network& net = cluster.network();
-      // Revert to the values observed when the spike begins, so plans that
-      // layer spikes over a configured baseline restore it correctly.
-      const double old_data = net.drop_prob(net::LinkType::kInterNode);
-      const double old_ctl = net.control_drop_prob();
       net.set_drop_prob(net::LinkType::kInterNode, a.drop_prob);
       if (a.control) net.set_control_drop_prob(a.drop_prob);
       runtime::Cluster* c = &cluster;
       const bool control = a.control;
       cluster.sim().schedule_after(
-          a.duration, [c, old_data, old_ctl, control] {
-            c->network().set_drop_prob(net::LinkType::kInterNode, old_data);
-            if (control) c->network().set_control_drop_prob(old_ctl);
+          a.duration, [c, restore_data, restore_ctl, control] {
+            c->network().set_drop_prob(net::LinkType::kInterNode,
+                                       restore_data);
+            if (control) c->network().set_control_drop_prob(restore_ctl);
           });
       break;
     }
@@ -215,13 +219,35 @@ void apply(runtime::Cluster& cluster, const FaultAction& a) {
 }  // namespace
 
 void FaultPlan::inject(runtime::Cluster& cluster) const {
+  // Baseline drop probabilities before any spike fires. Each spike's
+  // restore target is resolved now, against the whole plan: the baseline,
+  // lifted to the magnitude of any other spike whose window is still open
+  // when this one ends. That keeps overlapping spikes from leaking an
+  // elevated probability past the last window.
+  const double base_data =
+      cluster.network().drop_prob(net::LinkType::kInterNode);
+  const double base_ctl = cluster.network().control_drop_prob();
   for (const FaultAction& action : actions_) {
     runtime::Cluster* c = &cluster;
     // The action is copied into the closure (FaultAction is 48 bytes, so
     // with the cluster pointer this takes the callback pool's slow path —
     // fine for a handful of cold injections).
     FaultAction a = action;
-    cluster.sim().schedule_at(a.at, [c, a] { apply(*c, a); });
+    double restore_data = base_data;
+    double restore_ctl = base_ctl;
+    if (a.kind == FaultKind::kLossSpike) {
+      const sim::Time end = a.at + a.duration;
+      for (const FaultAction& b : actions_) {
+        if (&b == &action || b.kind != FaultKind::kLossSpike) continue;
+        if (b.at <= end && end < b.at + b.duration) {
+          restore_data = std::max(restore_data, b.drop_prob);
+          if (b.control) restore_ctl = std::max(restore_ctl, b.drop_prob);
+        }
+      }
+    }
+    cluster.sim().schedule_at(a.at, [c, a, restore_data, restore_ctl] {
+      apply(*c, a, restore_data, restore_ctl);
+    });
   }
 }
 

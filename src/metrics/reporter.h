@@ -47,6 +47,29 @@ struct FlowGaugeRow {
 void print_flow_gauges(std::ostream& os, const std::vector<FlowGaugeRow>& rows,
                        double shed_rate_per_s);
 
+/// --- Checkpoint gauges. ---
+/// One per-topology row mirroring state::CheckpointGauges, plus the
+/// configured interval for adherence at a glance. Assembled by
+/// Cluster::checkpoint_gauges().
+struct CheckpointGaugeRow {
+  int topology = -1;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+  /// Snapshot writes rejected from superseded task incarnations.
+  std::uint64_t stale_writes = 0;
+  std::uint64_t last_id = 0;
+  std::uint64_t last_bytes = 0;
+  double last_duration = 0;
+  double mean_interval = 0;
+  double target_interval = 0;
+};
+
+/// Aligned table of per-topology checkpoint progress: completed/aborted
+/// rounds, last snapshot size and barrier-to-durable duration, and mean
+/// completion interval vs the configured one (interval adherence).
+void print_checkpoint_gauges(std::ostream& os,
+                             const std::vector<CheckpointGaugeRow>& rows);
+
 /// --- Observability summaries. ---
 
 /// Scheduling decisions: totals by outcome and trigger, then the most

@@ -93,6 +93,26 @@ ClusterConfig validated(ClusterConfig config) {
       config.flow.shed_probability, 0.0, 1.0, "flow.shed_probability");
   config.obs.tuple_sample_rate = clamp_range(
       config.obs.tuple_sample_rate, 0.0, 1.0, "obs.tuple_sample_rate");
+  config.state.checkpoint_interval =
+      clamp_min(config.state.checkpoint_interval,
+                sim::PeriodicTask::kMinPeriod, "state.checkpoint_interval");
+  if (config.state.checkpoint_timeout <= 0) {
+    config.state.checkpoint_timeout = 3 * config.state.checkpoint_interval;
+  }
+  config.state.checkpoint_timeout =
+      clamp_min(config.state.checkpoint_timeout,
+                config.state.checkpoint_interval, "state.checkpoint_timeout");
+  config.state.store_write_latency = clamp_min(
+      config.state.store_write_latency, 0.0, "state.store_write_latency");
+  config.state.store_read_latency = clamp_min(
+      config.state.store_read_latency, 0.0, "state.store_read_latency");
+  config.state.store_read_bandwidth = clamp_min(
+      config.state.store_read_bandwidth, 1.0, "state.store_read_bandwidth");
+  config.state.barrier_cost_mc =
+      clamp_min(config.state.barrier_cost_mc, 0.0, "state.barrier_cost_mc");
+  config.state.dedup_horizon_factor =
+      clamp_min(config.state.dedup_horizon_factor, 0.0,
+                "state.dedup_horizon_factor");
   return config;
 }
 
@@ -101,8 +121,12 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
       config_(validated(std::move(config))),
       rng_(config_.seed),
       network_(sim, config_.network,
-               config_.nodes.empty() ? config_.num_nodes
-                                     : static_cast<int>(config_.nodes.size()),
+               // One extra endpoint when state is enabled: the durable
+               // storage pseudo-node snapshot writes travel to.
+               (config_.nodes.empty() ? config_.num_nodes
+                                      : static_cast<int>(
+                                            config_.nodes.size())) +
+                   (config_.state.enabled ? 1 : 0),
                // Dedicated fault-model substream derived from the cluster
                // seed: enabling network faults never perturbs the main RNG
                // stream (edge ids, workloads).
@@ -162,6 +186,35 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
       }
     }
   });
+  // Stateful operators: checkpoint coordinator + its tick. The durable
+  // service sits on the pseudo-node appended after the workers (the +1 in
+  // network_'s construction above), so snapshot writes traverse the fault
+  // model like any inter-node message.
+  if (config_.state.enabled) {
+    storage_node_ = config_.num_nodes;
+    state::CheckpointCoordinator::Callbacks callbacks;
+    callbacks.inject_barriers = [this](int topo, std::uint64_t ckpt) {
+      inject_barriers(topo, ckpt);
+    };
+    callbacks.on_complete = [this](int topo, std::uint64_t ckpt,
+                                   double duration, std::uint64_t bytes) {
+      on_checkpoint_complete(topo, ckpt, duration, bytes);
+    };
+    callbacks.on_abort = [this](int topo, std::uint64_t ckpt) {
+      std::string detail = "round " + std::to_string(ckpt) + ", awaiting";
+      for (int task : checkpoints_->awaiting_tasks(topo)) {
+        detail += " " + std::to_string(task);
+      }
+      trace_.record({sim_.now(), trace::EventKind::kCheckpointAborted, topo,
+                     -1, -1, 0, std::move(detail)});
+    };
+    checkpoints_ = std::make_unique<state::CheckpointCoordinator>(
+        std::move(callbacks), config_.state.checkpoint_timeout);
+    checkpoint_tick_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.state.checkpoint_interval,
+        sim::InlineFn([this] { checkpoints_->tick(sim_.now()); }));
+    checkpoint_tick_->start(config_.state.checkpoint_interval);
+  }
 }
 
 const char* to_string(DropCause cause) {
@@ -174,6 +227,8 @@ const char* to_string(DropCause cause) {
       return "shutdown-drain";
     case DropCause::kLoadShed:
       return "load-shed";
+    case DropCause::kStateDedup:
+      return "state-dedup";
   }
   return "?";
 }
@@ -243,6 +298,17 @@ sched::TopologyId Cluster::submit(topo::Topology topology,
   }
   acker_tasks_[id] = std::move(ackers);
 
+  if (checkpoints_ != nullptr) {
+    std::vector<int> stateful;
+    for (const auto& info : tasks_) {
+      if (info.topology == id && info.component->stateful &&
+          info.component->kind == topo::ComponentKind::kBolt) {
+        stateful.push_back(info.task);
+      }
+    }
+    checkpoints_->register_topology(id, std::move(stateful));
+  }
+
   trace_.record({sim_.now(), trace::EventKind::kTopologySubmitted, id, -1,
                  -1, 0,
                  t.name() + ", " + std::to_string(t.total_executors()) +
@@ -254,6 +320,7 @@ sched::TopologyId Cluster::submit(topo::Topology topology,
 }
 
 void Cluster::kill_topology(sched::TopologyId topo) {
+  if (checkpoints_ != nullptr) checkpoints_->deregister_topology(topo);
   coordination_.remove(topo);
   trace_.record({sim_.now(), trace::EventKind::kTopologyKilled, topo, -1,
                  -1, 0, {}});
@@ -380,6 +447,11 @@ Executor* Cluster::resolve(sched::TaskId task,
     }
   }
   return best_le != nullptr ? best_le : best_gt;
+}
+
+bool Cluster::is_current_instance(const Executor& e) const {
+  return resolve(e.task(),
+                 std::numeric_limits<sched::AssignmentVersion>::max()) == &e;
 }
 
 void Cluster::send(Executor& from, sched::TaskId dst, Envelope env) {
@@ -556,7 +628,7 @@ bool Cluster::node_available(sched::NodeId node) const {
 
 std::uint64_t Cluster::dropped_messages() const {
   return dropped_by_cause_[0] + dropped_by_cause_[1] + dropped_by_cause_[2] +
-         dropped_by_cause_[3];
+         dropped_by_cause_[3] + dropped_by_cause_[4];
 }
 
 std::uint64_t Cluster::dropped_by(DropCause cause) const {
@@ -580,6 +652,130 @@ std::vector<metrics::FlowGaugeRow> Cluster::flow_gauges() const {
             [](const metrics::FlowGaugeRow& a, const metrics::FlowGaugeRow& b) {
               return a.task != b.task ? a.task < b.task : a.node < b.node;
             });
+  return rows;
+}
+
+void Cluster::inject_barriers(sched::TopologyId topo, std::uint64_t ckpt) {
+  for (const auto& info : tasks_) {
+    if (info.topology != topo || !info.is_spout()) continue;
+    Envelope barrier;
+    barrier.kind = MsgKind::kBarrier;
+    barrier.root_id = ckpt;
+    // Control-plane delivery: the coordinator reaches spouts the way the
+    // tracker reaches them for replays. A dead spout instance simply means
+    // its barriers never flow and the round aborts at the next tick.
+    deliver_control(info.task, std::move(barrier));
+  }
+}
+
+void Cluster::on_checkpoint_complete(sched::TopologyId topo,
+                                     std::uint64_t ckpt, double duration,
+                                     std::uint64_t bytes) {
+  durable_.mark_completed(ckpt);
+  trace_.record({sim_.now(), trace::EventKind::kCheckpointComplete, topo, -1,
+                 -1, 0,
+                 "round " + std::to_string(ckpt) + ", " +
+                     std::to_string(bytes) + " B, " +
+                     std::to_string(duration) + " s"});
+  // Release the acks the topology's stateful bolts deferred against this
+  // round (and any earlier one) — but only at each task's current
+  // incarnation. A superseded incarnation still draining a reschedule
+  // handoff holds updates its successor never saw (the successor restored
+  // an earlier round before this one committed); releasing its acks would
+  // complete trees whose updates exist nowhere the successor will ever
+  // read. Left deferred, the acks die with the old incarnation and the
+  // trees replay against the successor.
+  for (const auto& instances : router_) {
+    for (Executor* e : instances) {
+      if (e->info().topology != topo) continue;
+      if (!is_current_instance(*e)) continue;
+      e->on_checkpoint_committed(ckpt);
+    }
+  }
+}
+
+void Cluster::state_write(Executor& from, std::uint64_t ckpt,
+                          state::Snapshot snap) {
+  assert(storage_node_ >= 0 && "state_write with state disabled");
+  // A superseded incarnation must not contribute snapshots: its write
+  // could satisfy the coordinator and commit a round containing updates
+  // its successor — already restored from an earlier round — will never
+  // apply. Dropping the write keeps the round honest: it completes from
+  // the successor's snapshot or aborts at the timeout, and the old
+  // incarnation's unreleased trees replay.
+  if (!is_current_instance(from)) {
+    if (checkpoints_ != nullptr) {
+      checkpoints_->note_stale_write(from.info().topology);
+    }
+    return;
+  }
+  const auto src_node = from.node_id();
+  // Serialized frame: entries + header/framing overhead.
+  const std::uint64_t bytes = snap.bytes + 64;
+  const std::uint32_t handle = stash_write(
+      {from.info().topology, from.task(), ckpt, bytes, std::move(snap)});
+  // Service-side write latency plus the sender's crowding penalty (the
+  // storage pseudo-node runs no workers, so only the source side crowds).
+  const double extra =
+      config_.state.store_write_latency +
+      config_.crowd_latency_coeff *
+          node(src_node).crowding(config_.worker_overhead_threads);
+  const bool delivered = network_.send(
+      src_node, storage_node_, net::LinkType::kInterNode, bytes,
+      [this, handle] {
+        PendingWrite w = take_write(handle);
+        durable_.put_pending(w.task, w.ckpt, std::move(w.snap));
+        if (checkpoints_ != nullptr) {
+          checkpoints_->on_snapshot_written(w.topo, w.ckpt, w.task, w.bytes,
+                                            sim_.now());
+        }
+      },
+      extra);
+  if (!delivered) {
+    // Lost on the wire: the round's write never acknowledges and the
+    // coordinator aborts it at the next tick.
+    take_write(handle);
+    note_drop(DropCause::kNetworkLoss);
+  }
+}
+
+std::uint32_t Cluster::stash_write(PendingWrite write) {
+  if (!pending_writes_free_.empty()) {
+    const std::uint32_t handle = pending_writes_free_.back();
+    pending_writes_free_.pop_back();
+    pending_writes_[handle] = std::move(write);
+    return handle;
+  }
+  pending_writes_.push_back(std::move(write));
+  return static_cast<std::uint32_t>(pending_writes_.size() - 1);
+}
+
+Cluster::PendingWrite Cluster::take_write(std::uint32_t handle) {
+  PendingWrite write = std::move(pending_writes_[handle]);
+  pending_writes_free_.push_back(handle);
+  return write;
+}
+
+void Cluster::note_state_dedup() {
+  ++state_dedup_suppressed_;
+  note_drop(DropCause::kStateDedup);
+}
+
+double Cluster::dedup_horizon() const {
+  return config_.state.dedup_horizon_factor *
+         (1.0 + config_.late_ack_grace_factor) * config_.tuple_timeout;
+}
+
+std::vector<metrics::CheckpointGaugeRow> Cluster::checkpoint_gauges() const {
+  std::vector<metrics::CheckpointGaugeRow> rows;
+  if (checkpoints_ == nullptr) return rows;
+  for (int topo : checkpoints_->topologies()) {
+    const state::CheckpointGauges* g = checkpoints_->gauges(topo);
+    if (g == nullptr) continue;
+    rows.push_back({topo, g->completed, g->aborted, g->stale_writes,
+                    g->last_id, g->last_bytes, g->last_duration,
+                    g->mean_interval, config_.state.checkpoint_interval});
+  }
   return rows;
 }
 

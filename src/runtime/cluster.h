@@ -28,6 +28,8 @@
 #include "sched/scheduler.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
+#include "state/checkpoint.h"
+#include "state/durable_store.h"
 #include "topo/topology.h"
 #include "trace/trace.h"
 
@@ -48,6 +50,9 @@ enum class DropCause : std::uint8_t {
   /// Flow control shed the tuple at a hard-full executor queue (see
   /// FlowConfig::shed_policy).
   kLoadShed,
+  /// A stateful bolt suppressed a replayed duplicate: the update's lineage
+  /// path was already applied (exactly-once dedup, StateConfig::enabled).
+  kStateDedup,
 };
 
 const char* to_string(DropCause cause);
@@ -107,6 +112,38 @@ class Cluster {
   [[nodiscard]] flow::FlowController& flow() { return flow_; }
   [[nodiscard]] const flow::FlowController& flow() const { return flow_; }
 
+  /// --- Stateful operators (config_.state). ---
+  [[nodiscard]] bool state_enabled() const { return config_.state.enabled; }
+  /// Durable checkpoint storage (always constructed; empty when disabled).
+  [[nodiscard]] state::DurableStore& durable_state() { return durable_; }
+  [[nodiscard]] const state::DurableStore& durable_state() const {
+    return durable_;
+  }
+  /// Checkpoint coordinator; nullptr when state is disabled.
+  [[nodiscard]] state::CheckpointCoordinator* checkpoints() {
+    return checkpoints_.get();
+  }
+  [[nodiscard]] const state::CheckpointCoordinator* checkpoints() const {
+    return checkpoints_.get();
+  }
+  /// Network endpoint of the durable storage service (the pseudo-node
+  /// appended after the worker nodes); -1 when state is disabled.
+  [[nodiscard]] int storage_node() const { return storage_node_; }
+  /// Ships `snap`, written by executor `from` for round `ckpt`, to the
+  /// durable store through the network model (write latency + bandwidth +
+  /// fault model). A lost write simply never acknowledges — the round
+  /// aborts at the coordinator's next tick.
+  void state_write(Executor& from, std::uint64_t ckpt, state::Snapshot snap);
+  /// Records a duplicate suppressed by a stateful bolt's dedup set (both
+  /// the independent counter and the kStateDedup drop-attribution entry;
+  /// the auditor cross-checks them).
+  void note_state_dedup();
+  [[nodiscard]] std::uint64_t state_dedup_suppressed() const {
+    return state_dedup_suppressed_;
+  }
+  /// Age horizon for dedup sweeps (see StateConfig::dedup_horizon_factor).
+  [[nodiscard]] double dedup_horizon() const;
+
   [[nodiscard]] int num_nodes() const { return config_.num_nodes; }
   [[nodiscard]] WorkerNode& node(sched::NodeId id);
   [[nodiscard]] Supervisor& supervisor(sched::NodeId id);
@@ -153,6 +190,12 @@ class Cluster {
   [[nodiscard]] Executor* resolve(sched::TaskId task,
                                   sched::AssignmentVersion sender_version)
       const;
+
+  /// True when `e` is the newest live instance of its task. During a
+  /// reschedule handoff the superseded incarnation keeps draining
+  /// old-version traffic, but it must not participate in checkpointing
+  /// (see state_write / on_checkpoint_complete).
+  [[nodiscard]] bool is_current_instance(const Executor& e) const;
 
   /// Sends an envelope from `from` to task `dst` over the modeled network.
   void send(Executor& from, sched::TaskId dst, Envelope env);
@@ -201,7 +244,17 @@ class Cluster {
   /// metrics::print_flow_gauges).
   [[nodiscard]] std::vector<metrics::FlowGaugeRow> flow_gauges() const;
 
+  /// Per-topology checkpoint gauges (completions, aborts, snapshot bytes,
+  /// duration, interval adherence) for metrics::print_checkpoint_gauges.
+  /// Empty when state is disabled.
+  [[nodiscard]] std::vector<metrics::CheckpointGaugeRow> checkpoint_gauges()
+      const;
+
  private:
+  /// Checkpoint-coordinator callbacks (wired in the constructor).
+  void inject_barriers(sched::TopologyId topo, std::uint64_t ckpt);
+  void on_checkpoint_complete(sched::TopologyId topo, std::uint64_t ckpt,
+                              double duration, std::uint64_t bytes);
   /// In-flight message slab. Envelopes awaiting network delivery are parked
   /// here and referenced by a 32-bit handle, so delivery closures capture
   /// {this, dst, version, handle} — 24 bytes, inside InlineFn's inline
@@ -226,6 +279,13 @@ class Cluster {
   // After coordination_/trace_ (it holds references to both), before
   // supervisors_ (executors call flow().forget from shutdown).
   flow::FlowController flow_;
+  // Stateful-operator machinery. Before supervisors_: restoring executors
+  // read the durable store from on_start, and snapshot-write delivery
+  // closures reach both through `this`. The coordinator and its tick exist
+  // only when config_.state.enabled.
+  state::DurableStore durable_;
+  std::unique_ptr<state::CheckpointCoordinator> checkpoints_;
+  std::unique_ptr<sim::PeriodicTask> checkpoint_tick_;
   TupleTracker tracker_;
   Nimbus nimbus_;
 
@@ -248,6 +308,21 @@ class Cluster {
   std::vector<Envelope> in_flight_;
   std::vector<std::uint32_t> in_flight_free_;
 
+  /// In-flight snapshot writes (same slab/handle idiom as in_flight_:
+  /// delivery closures capture {this, handle} and stay inside InlineFn's
+  /// inline buffer).
+  struct PendingWrite {
+    sched::TopologyId topo = -1;
+    sched::TaskId task = -1;
+    std::uint64_t ckpt = 0;
+    std::uint64_t bytes = 0;
+    state::Snapshot snap;
+  };
+  std::uint32_t stash_write(PendingWrite write);
+  PendingWrite take_write(std::uint32_t handle);
+  std::vector<PendingWrite> pending_writes_;
+  std::vector<std::uint32_t> pending_writes_free_;
+
   std::vector<std::unique_ptr<Supervisor>> supervisors_;
 
   /// Topologies stored stably (ComponentDef pointers live in TaskInfo).
@@ -257,7 +332,11 @@ class Cluster {
   std::unordered_map<sched::TopologyId, std::vector<sched::TaskId>>
       acker_tasks_;
 
-  std::uint64_t dropped_by_cause_[4] = {0, 0, 0, 0};
+  std::uint64_t dropped_by_cause_[5] = {0, 0, 0, 0, 0};
+  /// Independent side of the kStateDedup double-entry check.
+  std::uint64_t state_dedup_suppressed_ = 0;
+  /// Storage pseudo-node id (== number of worker nodes); -1 when disabled.
+  int storage_node_ = -1;
   std::unique_ptr<sched::ISchedulingAlgorithm> default_initial_;
 };
 

@@ -104,6 +104,57 @@ struct ObsConfig {
   std::size_t tuple_trace_capacity = 2048;
 };
 
+/// --- Stateful operators: barrier checkpoints + restore-on-reschedule. ---
+/// Disabled by default; with `enabled == false` the runtime's behaviour
+/// (and its event/RNG sequence) is bit-identical to a build without the
+/// state subsystem. When enabled:
+///   * bolts of components marked BoltDecl::stateful(true) get a
+///     runtime-managed state::StateStore that survives reassignment;
+///   * a coordinator injects checkpoint barriers at the spouts every
+///     checkpoint_interval; bolts align barriers across their input
+///     channels, stateful ones snapshot their store to a simulated durable
+///     service (a dedicated storage pseudo-node on the network, so writes
+///     pay latency/bandwidth and can be partitioned away);
+///   * acks at stateful bolts are deferred until the covering checkpoint
+///     round completes, and replayed duplicates are suppressed through
+///     per-task dedup sets (DropCause::kStateDedup) — together: a tree is
+///     acked only once its updates are durable, and re-applied never.
+struct StateConfig {
+  bool enabled = false;
+
+  /// Coordinator round period (seconds): how often a new round *starts*.
+  double checkpoint_interval = 5.0;
+
+  /// Abort horizon (seconds): a round still open this long after it
+  /// started is aborted by the next tick and superseded. Must exceed the
+  /// interval — barriers ride the data path, so under queue backlog a
+  /// round can take longer than one interval, and aborting it at the next
+  /// tick would mean no round ever completes (with checkpoint-gated acks
+  /// that is a livelock: acks wait on a commit, trees time out, replays
+  /// deepen the backlog). 0 resolves to 3x checkpoint_interval.
+  double checkpoint_timeout = 0;
+
+  /// Durable-service write latency (seconds) added to each snapshot write
+  /// on top of network transmission, and read latency paid by a restoring
+  /// executor before it serves data.
+  double store_write_latency = 2e-3;
+  double store_read_latency = 5e-3;
+
+  /// Restore read bandwidth (bytes/s): rehydration time scales with
+  /// snapshot size.
+  double store_read_bandwidth = 250e6;
+
+  /// CPU cost (mega-cycles) of processing one barrier at a bolt.
+  double barrier_cost_mc = 0.01;
+
+  /// Dedup entries untouched for longer than
+  ///   dedup_horizon_factor * (1 + late_ack_grace_factor) * tuple_timeout
+  /// are swept at checkpoint time. Duplicates refresh their entry, so the
+  /// horizon only needs to cover the gap between consecutive attempts of
+  /// one tree (timeout + backoff + redelivery), not its whole lifetime.
+  double dedup_horizon_factor = 2.0;
+};
+
 struct ClusterConfig {
   int num_nodes = 10;
   int slots_per_node = 4;
@@ -215,6 +266,10 @@ struct ClusterConfig {
   /// Observability (schedule provenance + sampled tuple tracing); tracing
   /// off by default so existing runs are bit-identical.
   ObsConfig obs;
+
+  /// Stateful operators (keyed state + barrier checkpoints + restore);
+  /// off by default so existing runs are bit-identical.
+  StateConfig state;
 
   /// RNG seed for the whole simulation.
   std::uint64_t seed = 42;

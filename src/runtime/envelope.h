@@ -19,6 +19,8 @@ enum class MsgKind : std::uint8_t {
   kEmitSignal,   // spout-internal: rate-controlled emission slot
   kReplay,       // tracker -> spout: re-emit a failed tuple
   kTick,         // bolt-internal: periodic tick tuple
+  kBarrier,      // checkpoint barrier (root_id = checkpoint round id)
+  kStateRestore,  // executor-internal: rehydrate from a durable snapshot
 };
 
 struct Envelope {
@@ -33,6 +35,12 @@ struct Envelope {
   sched::AssignmentVersion version = 0;
   /// Replay attempt counter (kReplay).
   int attempt = 0;
+  /// Exactly-once lineage (StateConfig::enabled only; 0 otherwise).
+  /// kData: deterministic path of this emission within its tuple tree —
+  /// identical across replay attempts, the key of the stateful bolts'
+  /// dedup sets. kReplay: the tree uid (attempt-0 root id) the re-emission
+  /// must derive its paths from.
+  std::uint64_t path = 0;
   /// Tuple tracing: start time of the envelope's current phase (network
   /// hop, then queue wait, then execute); < 0 when the root is not
   /// sampled. Stamped by Cluster::send, advanced by the executor hooks.

@@ -43,10 +43,16 @@ void Executor::shutdown() {
   // Queued envelopes are lost with the worker process; data tuples will
   // surface as timeouts at their spouts. Replay envelopes carry tuples
   // too — a replay queued at a dying spout is just as lost as fresh data,
-  // so it must be attributed or conservation audits under-count.
+  // so it must be attributed or conservation audits under-count. In state
+  // mode replays are instead handed back to the tracker for re-dispatch:
+  // exactly-once soaks need every tree to eventually land, and the dedup
+  // sets make the extra attempt harmless.
   for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Envelope& env = queue_[i];
-    if (env.kind == MsgKind::kData || env.kind == MsgKind::kReplay) {
+    Envelope& env = queue_[i];
+    if (env.kind == MsgKind::kReplay && cluster_.state_enabled() &&
+        env.tuple) {
+      cluster_.tracker().requeue_replay(std::move(env));
+    } else if (env.kind == MsgKind::kData || env.kind == MsgKind::kReplay) {
       cluster_.note_drop(DropCause::kShutdownDrain);
     }
   }
@@ -193,30 +199,38 @@ EmissionHelper::EmissionHelper(Cluster& cluster, Executor& self)
 namespace {
 
 Envelope make_data(sched::TaskId dst, const topo::TupleRef& tuple,
-                   std::uint64_t root_id, std::uint64_t edge) {
+                   std::uint64_t root_id, std::uint64_t edge,
+                   std::uint64_t path) {
   Envelope env;
   env.kind = MsgKind::kData;
   env.dst = dst;
   env.tuple = tuple;
   env.root_id = root_id;
   env.xor_val = edge;
+  env.path = path;
   return env;
 }
 
 }  // namespace
 
 std::uint64_t EmissionHelper::emit(const topo::TupleRef& tuple,
-                                   std::uint64_t root_id) {
+                                   std::uint64_t root_id,
+                                   std::uint64_t path) {
   std::uint64_t xor_edges = 0;
   for (auto& out : outs_) {
     if (out.targets.empty()) continue;
     switch (out.sub.grouping) {
       case topo::GroupingType::kShuffle: {
-        const auto i = out.shuffle_counter++ % out.targets.size();
+        // Path-hash routing in state mode: the counter would desynchronize
+        // across replay attempts, sending the retry to a task whose dedup
+        // set never saw the original.
+        const auto i = path != 0
+                           ? state::mix64(path) % out.targets.size()
+                           : out.shuffle_counter++ % out.targets.size();
         const auto edge = cluster_.rng().next_u64();
         xor_edges ^= root_id != 0 ? edge : 0;
         self_.send_to(out.targets[i],
-                      make_data(out.targets[i], tuple, root_id, edge));
+                      make_data(out.targets[i], tuple, root_id, edge, path));
         break;
       }
       case topo::GroupingType::kFields: {
@@ -228,14 +242,15 @@ std::uint64_t EmissionHelper::emit(const topo::TupleRef& tuple,
         const auto edge = cluster_.rng().next_u64();
         xor_edges ^= root_id != 0 ? edge : 0;
         self_.send_to(out.targets[i],
-                      make_data(out.targets[i], tuple, root_id, edge));
+                      make_data(out.targets[i], tuple, root_id, edge, path));
         break;
       }
       case topo::GroupingType::kAll: {
         for (auto target : out.targets) {
           const auto edge = cluster_.rng().next_u64();
           xor_edges ^= root_id != 0 ? edge : 0;
-          self_.send_to(target, make_data(target, tuple, root_id, edge));
+          self_.send_to(target,
+                        make_data(target, tuple, root_id, edge, path));
         }
         break;
       }
@@ -243,7 +258,7 @@ std::uint64_t EmissionHelper::emit(const topo::TupleRef& tuple,
         const auto target = out.targets.front();  // lowest task id
         const auto edge = cluster_.rng().next_u64();
         xor_edges ^= root_id != 0 ? edge : 0;
-        self_.send_to(target, make_data(target, tuple, root_id, edge));
+        self_.send_to(target, make_data(target, tuple, root_id, edge, path));
         break;
       }
       case topo::GroupingType::kDirect:
@@ -257,7 +272,8 @@ std::uint64_t EmissionHelper::emit(const topo::TupleRef& tuple,
 std::uint64_t EmissionHelper::emit_direct(const std::string& consumer,
                                           int task_index,
                                           const topo::TupleRef& tuple,
-                                          std::uint64_t root_id) {
+                                          std::uint64_t root_id,
+                                          std::uint64_t path) {
   for (auto& out : outs_) {
     if (out.consumer->name != consumer ||
         out.sub.grouping != topo::GroupingType::kDirect) {
@@ -269,10 +285,25 @@ std::uint64_t EmissionHelper::emit_direct(const std::string& consumer,
     }
     const auto target = out.targets[static_cast<std::size_t>(task_index)];
     const auto edge = cluster_.rng().next_u64();
-    self_.send_to(target, make_data(target, tuple, root_id, edge));
+    self_.send_to(target, make_data(target, tuple, root_id, edge, path));
     return root_id != 0 ? edge : 0;
   }
   return 0;
+}
+
+void EmissionHelper::broadcast_barrier(std::uint64_t ckpt) {
+  // One barrier per input channel: every consumer task hears from this
+  // producer task once per round, on every subscription (direct included —
+  // a direct subscriber is still an aligned input channel).
+  for (auto& out : outs_) {
+    for (auto target : out.targets) {
+      Envelope barrier;
+      barrier.kind = MsgKind::kBarrier;
+      barrier.root_id = ckpt;
+      barrier.dst = target;
+      self_.send_to(target, std::move(barrier));
+    }
+  }
 }
 
 // ------------------------------------------------------------ BoltExecutor
@@ -284,6 +315,45 @@ BoltExecutor::BoltExecutor(Cluster& cluster, Worker& worker,
 void BoltExecutor::on_start() {
   bolt_ = info().component->bolt_factory();
   emitter_ = std::make_unique<EmissionHelper>(cluster_, *this);
+  // Stateful components get their runtime-managed store whether or not
+  // checkpointing is on — the bolt's keyed API must work either way; only
+  // durability (barriers, snapshots, restore) is gated on state mode.
+  if (info().component->stateful) {
+    if (topo::StatefulBolt* stateful = bolt_->as_stateful();
+        stateful != nullptr) {
+      store_ = std::make_unique<state::StateStore>();
+      stateful->bind_state(store_.get());
+    }
+  }
+  state_mode_ = cluster_.state_enabled();
+  if (state_mode_) {
+    // Alignment channels: every producer task across all inputs.
+    for (const auto& sub : info().component->inputs) {
+      const auto srcs =
+          cluster_.tasks_of_component(info().topology, sub.source);
+      barrier_sources_.insert(barrier_sources_.end(), srcs.begin(),
+                              srcs.end());
+    }
+    std::sort(barrier_sources_.begin(), barrier_sources_.end());
+    barrier_sources_.erase(
+        std::unique(barrier_sources_.begin(), barrier_sources_.end()),
+        barrier_sources_.end());
+    // Restore-on-(re)start: rehydrate from the last *completed* checkpoint
+    // before serving data. The snapshot is staged here; the kStateRestore
+    // envelope pays the read latency + bytes/bandwidth as service I/O.
+    if (store_ != nullptr) {
+      std::uint64_t ckpt = 0;
+      if (const state::Snapshot* snap =
+              cluster_.durable_state().completed(task(), &ckpt);
+          snap != nullptr) {
+        restore_snap_ = std::make_unique<state::Snapshot>(*snap);
+        restore_ckpt_ = ckpt;
+        Envelope restore;
+        restore.kind = MsgKind::kStateRestore;
+        deliver(std::move(restore));
+      }
+    }
+  }
   bolt_->prepare(info().index, info().component->parallelism);
   if (info().component->tick_interval > 0) schedule_tick();
 }
@@ -292,6 +362,26 @@ void BoltExecutor::on_shutdown() {
   if (tick_event_ != sim::kInvalidEvent) {
     cluster_.sim().cancel(tick_event_);
     tick_event_ = sim::kInvalidEvent;
+  }
+  // Held post-barrier data dies with the executor exactly like queued
+  // data; deferred acks just vanish (their trees time out and replay).
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i].kind == MsgKind::kData) {
+      cluster_.note_drop(DropCause::kShutdownDrain);
+    }
+  }
+  held_.clear();
+  deferred_.clear();
+  aligning_ = 0;
+}
+
+void BoltExecutor::on_checkpoint_committed(std::uint64_t ckpt) {
+  // deferred_ is FIFO with non-decreasing round tags, untagged (0) last:
+  // release the covered prefix.
+  while (!deferred_.empty() && deferred_[0].ckpt != 0 &&
+         deferred_[0].ckpt <= ckpt) {
+    DeferredAck d = deferred_.pop_front();
+    send_to(d.ack.dst, std::move(d.ack));
   }
 }
 
@@ -314,12 +404,21 @@ double BoltExecutor::service_cost_mc(const Envelope& env) const {
     return bolt_->cpu_cost_mega_cycles(*env.tuple);
   }
   if (env.kind == MsgKind::kTick) return bolt_->tick_cost_mega_cycles();
+  if (env.kind == MsgKind::kBarrier) {
+    return cluster_.config().state.barrier_cost_mc;
+  }
   return 0.001;
 }
 
 double BoltExecutor::service_io_s(const Envelope& env) const {
   if (env.kind == MsgKind::kData && env.tuple) {
     return bolt_->io_time_seconds(*env.tuple);
+  }
+  if (env.kind == MsgKind::kStateRestore && restore_snap_ != nullptr) {
+    const auto& cfg = cluster_.config().state;
+    return cfg.store_read_latency +
+           static_cast<double>(restore_snap_->bytes) /
+               cfg.store_read_bandwidth;
   }
   return 0.0;
 }
@@ -333,25 +432,64 @@ void BoltExecutor::process(Envelope& env) {
     bolt_->on_tick(*this);
     return;
   }
+  if (env.kind == MsgKind::kBarrier) {
+    on_barrier(env);
+    return;
+  }
+  if (env.kind == MsgKind::kStateRestore) {
+    apply_restore();
+    return;
+  }
   if (env.kind != MsgKind::kData || !env.tuple) return;
+  // Mid-alignment, data on an already-barriered channel belongs to the
+  // next epoch: park it until the round completes or aborts.
+  if (aligning_ != 0) {
+    const std::uint64_t* seen = barrier_seen_.find(env.src);
+    if (seen != nullptr && *seen >= aligning_) {
+      held_.push_back(std::move(env));
+      return;
+    }
+  }
+  process_data(env);
+}
+
+void BoltExecutor::process_data(Envelope& env) {
   current_ = &env;
   emitted_xor_ = 0;
+  emission_ordinal_ = 0;
+  // Exactly-once dedup: an update path already applied means this envelope
+  // is a replayed duplicate — suppress the execution, but still ack (the
+  // replayed tree must complete; this branch contributes no downstream
+  // edges, exactly as if it re-emitted and every child deduped too).
+  if (state_mode_ && store_ != nullptr && env.path != 0 &&
+      !store_->dedup_insert(env.path, cluster_.sim().now())) {
+    cluster_.note_state_dedup();
+    ack_input(env, 0);
+    current_ = nullptr;
+    return;
+  }
   bolt_->execute(*env.tuple, *this);
   ack_input(env, emitted_xor_);
   current_ = nullptr;
 }
 
+std::uint64_t BoltExecutor::next_emission_path() {
+  if (!state_mode_ || current_ == nullptr || current_->path == 0) return 0;
+  return state::child_path(current_->path, emission_ordinal_++);
+}
+
 void BoltExecutor::emit(topo::Tuple tuple) {
   const topo::TupleRef ref = topo::TupleRef::make(std::move(tuple));
   const std::uint64_t root = current_ != nullptr ? current_->root_id : 0;
-  emitted_xor_ ^= emitter_->emit(ref, root);
+  emitted_xor_ ^= emitter_->emit(ref, root, next_emission_path());
 }
 
 void BoltExecutor::emit_direct(const std::string& consumer, int task_index,
                                topo::Tuple tuple) {
   const topo::TupleRef ref = topo::TupleRef::make(std::move(tuple));
   const std::uint64_t root = current_ != nullptr ? current_->root_id : 0;
-  emitted_xor_ ^= emitter_->emit_direct(consumer, task_index, ref, root);
+  emitted_xor_ ^= emitter_->emit_direct(consumer, task_index, ref, root,
+                                        next_emission_path());
 }
 
 void BoltExecutor::ack_input(const Envelope& env, std::uint64_t emitted_xor) {
@@ -364,7 +502,84 @@ void BoltExecutor::ack_input(const Envelope& env, std::uint64_t emitted_xor) {
   ack.xor_val = env.xor_val ^ emitted_xor;
   const auto target = ackers[env.root_id % ackers.size()];
   ack.dst = target;
+  // Checkpoint-gated acks at stateful bolts: completing a tree whose
+  // update exists only in memory would let a crash lose an "acked" update.
+  // The ack leaves when the covering round is durably complete. Duplicates
+  // defer too — the dedup entry that suppressed them is just as volatile.
+  if (state_mode_ && store_ != nullptr) {
+    deferred_.push_back({std::move(ack), 0});
+    return;
+  }
   send_to(target, std::move(ack));
+}
+
+void BoltExecutor::on_barrier(const Envelope& env) {
+  if (!state_mode_) return;
+  const std::uint64_t ckpt = env.root_id;
+  std::uint64_t& seen = barrier_seen_[env.src];
+  if (ckpt <= seen) return;  // duplicate channel copy of this round
+  seen = ckpt;
+  if (ckpt <= last_aligned_) return;  // stale round already finished here
+  if (aligning_ != 0 && ckpt > aligning_) {
+    // A newer round's barrier means the coordinator aborted the one we
+    // were aligning: abandon it and serve what we held.
+    aligning_ = 0;
+    drain_held();
+  }
+  aligning_ = ckpt;
+  for (sched::TaskId src : barrier_sources_) {
+    const std::uint64_t* s = barrier_seen_.find(src);
+    if (s == nullptr || *s < ckpt) return;  // still waiting on a channel
+  }
+  complete_alignment(ckpt);
+}
+
+void BoltExecutor::complete_alignment(std::uint64_t ckpt) {
+  aligning_ = 0;
+  last_aligned_ = ckpt;
+  if (store_ != nullptr) {
+    // Atomic unit: dedup sweep + keyed entries + dedup set snapshot
+    // together, then tag the deferred acks this round covers. Crash before
+    // the write lands -> state and dedup die together, the round aborts,
+    // and the un-acked trees replay against the restored store.
+    store_->sweep_dedup(cluster_.sim().now() - cluster_.dedup_horizon());
+    for (std::size_t i = 0; i < deferred_.size(); ++i) {
+      if (deferred_[i].ckpt == 0) deferred_[i].ckpt = ckpt;
+    }
+    cluster_.state_write(*this, ckpt, store_->snapshot());
+  }
+  // Forward the barrier downstream, then serve the parked epoch.
+  emitter_->broadcast_barrier(ckpt);
+  drain_held();
+}
+
+void BoltExecutor::drain_held() {
+  while (!held_.empty()) {
+    Envelope env = held_.pop_front();
+    process_data(env);
+  }
+}
+
+void BoltExecutor::apply_restore() {
+  if (store_ == nullptr || restore_snap_ == nullptr) return;
+  store_->restore(*restore_snap_);
+  trace::TraceLog& log = cluster_.trace_log();
+  log.record({cluster_.sim().now(), trace::EventKind::kStateRestored,
+              info().topology, node_id(), -1, 0,
+              "task " + std::to_string(task()) + " round " +
+                  std::to_string(restore_ckpt_) + ", " +
+                  std::to_string(restore_snap_->entries.size()) +
+                  " entries"});
+  obs::DecisionRecord record;
+  record.time = cluster_.sim().now();
+  record.trigger = obs::DecisionTrigger::kRecovery;
+  record.outcome = obs::DecisionOutcome::kNoChange;
+  record.algorithm = "state-restore";
+  record.reason = "task " + std::to_string(task()) +
+                  " rehydrated from checkpoint " +
+                  std::to_string(restore_ckpt_);
+  cluster_.provenance().record(std::move(record));
+  restore_snap_.reset();
 }
 
 // ----------------------------------------------------------- SpoutExecutor
@@ -388,9 +603,14 @@ void SpoutExecutor::on_shutdown() {
     poll_event_ = sim::kInvalidEvent;
   }
   // Replays parked for re-emission die with the spout; without a drop
-  // record the conservation audit would see them vanish.
+  // record the conservation audit would see them vanish. In state mode
+  // they return to the tracker instead (see Executor::shutdown).
   for (std::size_t i = 0; i < replay_buffer_.size(); ++i) {
-    cluster_.note_drop(DropCause::kShutdownDrain);
+    if (cluster_.state_enabled() && replay_buffer_[i].tuple) {
+      cluster_.tracker().requeue_replay(std::move(replay_buffer_[i]));
+    } else {
+      cluster_.note_drop(DropCause::kShutdownDrain);
+    }
   }
   replay_buffer_.clear();
 }
@@ -443,17 +663,24 @@ void SpoutExecutor::process(Envelope& env) {
       // slot either way.
       if (!replay_buffer_.empty()) {
         Envelope replay = replay_buffer_.pop_front();
-        emit_root(std::move(replay.tuple), replay.attempt);
+        emit_root(std::move(replay.tuple), replay.attempt, replay.path);
         return;
       }
       auto next = spout_->next_tuple();
       if (next.has_value()) {
-        emit_root(topo::TupleRef::make(std::move(*next)), /*attempt=*/0);
+        emit_root(topo::TupleRef::make(std::move(*next)), /*attempt=*/0,
+                  /*uid=*/0);
       }
       break;
     }
     case MsgKind::kReplay:
       if (env.tuple) replay_buffer_.push_back(std::move(env));
+      break;
+    case MsgKind::kBarrier:
+      // Checkpoint round start: stamp the barrier into every output
+      // channel. Pauses do not gate barriers — a throttled spout still
+      // checkpoints.
+      emitter_->broadcast_barrier(env.root_id);
       break;
     case MsgKind::kAckComplete:
       cluster_.tracker().on_ack_complete(env.root_id);
@@ -464,7 +691,8 @@ void SpoutExecutor::process(Envelope& env) {
   }
 }
 
-void SpoutExecutor::emit_root(topo::TupleRef tuple, int attempt) {
+void SpoutExecutor::emit_root(topo::TupleRef tuple, int attempt,
+                              std::uint64_t uid) {
   if (acker_tasks_.empty()) {
     // No ackers: unanchored emission, no tracking (root id 0).
     emitter_->emit(tuple, 0);
@@ -480,7 +708,10 @@ void SpoutExecutor::emit_root(topo::TupleRef tuple, int attempt) {
     root = cluster_.rng().next_u64();
     if (root == 0) root = 1;
   }
-  cluster_.tracker().register_root(root, task(), tuple, attempt);
+  // Tree uid: attempt 0 coins it from its root id; replays inherit it, so
+  // the lineage paths below are identical across attempts.
+  if (uid == 0) uid = root;
+  cluster_.tracker().register_root(root, task(), tuple, attempt, uid);
   obs::TupleTraceCollector& tt = cluster_.tuple_trace();
   if (tt.enabled() && tt.should_sample()) {
     const sim::Time now = cluster_.sim().now();
@@ -488,7 +719,9 @@ void SpoutExecutor::emit_root(topo::TupleRef tuple, int attempt) {
     tt.add_span(root, obs::Span{obs::SpanKind::kEmit, task(), -1, node_id(),
                                 now, now});
   }
-  const std::uint64_t xor_edges = emitter_->emit(tuple, root);
+  const std::uint64_t path =
+      cluster_.state_enabled() ? state::root_path(uid) : 0;
+  const std::uint64_t xor_edges = emitter_->emit(tuple, root, path);
   Envelope init;
   init.kind = MsgKind::kAckInit;
   init.root_id = root;

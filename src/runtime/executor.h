@@ -15,6 +15,7 @@
 #include "sim/flat_map.h"
 #include "sim/ring_deque.h"
 #include "sim/simulation.h"
+#include "state/state_store.h"
 #include "topo/component.h"
 
 namespace tstorm::runtime {
@@ -77,6 +78,22 @@ class Executor {
   virtual void on_root_failed(std::uint64_t /*root_id*/) {}
   virtual void pause_spout_until(sim::Time /*t*/) {}
 
+  /// State hooks with no-op defaults. on_checkpoint_committed releases the
+  /// acks a stateful bolt deferred against rounds <= ckpt; state_store is
+  /// non-null only for bolt executors hosting a stateful component.
+  virtual void on_checkpoint_committed(std::uint64_t /*ckpt*/) {}
+  [[nodiscard]] virtual const state::StateStore* state_store() const {
+    return nullptr;
+  }
+  /// Acks still gated on a checkpoint commit (observability: a stuck
+  /// queue here means rounds stopped completing for this executor).
+  [[nodiscard]] virtual std::size_t deferred_ack_count() const { return 0; }
+  /// Covering round of the oldest gated ack (0 = untagged: enqueued since
+  /// the last alignment here).
+  [[nodiscard]] virtual std::uint64_t deferred_head_round() const {
+    return 0;
+  }
+
  protected:
   /// Runs the component logic for one envelope (after its service time).
   virtual void process(Envelope& env) = 0;
@@ -127,13 +144,22 @@ class EmissionHelper {
   EmissionHelper(Cluster& cluster, Executor& self);
 
   /// Emits `tuple` from `self`'s component to all subscribers. Each send
-  /// copies the ref (one refcount bump), never the tuple itself.
-  std::uint64_t emit(const topo::TupleRef& tuple, std::uint64_t root_id);
+  /// copies the ref (one refcount bump), never the tuple itself. `path` is
+  /// the emission's exactly-once lineage id (0 outside state mode); when
+  /// nonzero, shuffle grouping routes by hash of the path instead of the
+  /// round-robin counter, so every replay attempt of a tree reaches the
+  /// same consumer tasks (the dedup sets' locality requirement).
+  std::uint64_t emit(const topo::TupleRef& tuple, std::uint64_t root_id,
+                     std::uint64_t path = 0);
 
   /// Direct grouping emission to one task of a named consumer.
   std::uint64_t emit_direct(const std::string& consumer, int task_index,
                             const topo::TupleRef& tuple,
-                            std::uint64_t root_id);
+                            std::uint64_t root_id, std::uint64_t path = 0);
+
+  /// Sends one kBarrier envelope (root_id = ckpt) to every consumer task
+  /// on every subscription — each input channel sees the barrier once.
+  void broadcast_barrier(std::uint64_t ckpt);
 
  private:
   struct Out {
@@ -151,6 +177,17 @@ class EmissionHelper {
 class BoltExecutor final : public Executor, private topo::BoltContext {
  public:
   BoltExecutor(Cluster& cluster, Worker& worker, const TaskInfo& info);
+
+  void on_checkpoint_committed(std::uint64_t ckpt) override;
+  [[nodiscard]] const state::StateStore* state_store() const override {
+    return store_.get();
+  }
+  [[nodiscard]] std::size_t deferred_ack_count() const override {
+    return deferred_.size();
+  }
+  [[nodiscard]] std::uint64_t deferred_head_round() const override {
+    return deferred_.empty() ? 0 : deferred_.front().ckpt;
+  }
 
  protected:
   void process(Envelope& env) override;
@@ -172,12 +209,55 @@ class BoltExecutor final : public Executor, private topo::BoltContext {
   void schedule_tick();
   void on_shutdown() override;
 
+  /// Runs one data envelope through dedup + execute + ack (the post-
+  /// alignment-hold half of process()).
+  void process_data(Envelope& env);
+  /// Barrier alignment (state mode; all bolts align, stateful ones also
+  /// snapshot). See the .cpp for the protocol.
+  void on_barrier(const Envelope& env);
+  void complete_alignment(std::uint64_t ckpt);
+  void drain_held();
+  void apply_restore();
+  /// Lineage path of the next emission while current_ is being processed
+  /// (0 outside state mode or for unanchored inputs).
+  [[nodiscard]] std::uint64_t next_emission_path();
+
   std::unique_ptr<topo::Bolt> bolt_;
   std::unique_ptr<EmissionHelper> emitter_;
   const Envelope* current_ = nullptr;
   std::uint64_t emitted_xor_ = 0;
   sim::EventId tick_event_ = sim::kInvalidEvent;
   bool tick_queued_ = false;
+
+  /// --- Stateful operators (cluster config state.enabled). ---
+  bool state_mode_ = false;
+  /// Keyed store; non-null only for stateful components (bound into the
+  /// bolt before prepare(), snapshotted at barriers, restored on restart).
+  std::unique_ptr<state::StateStore> store_;
+  /// Producer tasks across all input subscriptions (sorted, unique): one
+  /// barrier per round must arrive from each before alignment completes.
+  std::vector<sched::TaskId> barrier_sources_;
+  /// Highest barrier round seen per producer task.
+  sim::FlatMap<sched::TaskId, std::uint64_t, -1> barrier_seen_;
+  /// Round currently aligning (0 = none) and last round aligned here.
+  std::uint64_t aligning_ = 0;
+  std::uint64_t last_aligned_ = 0;
+  /// Post-barrier data from already-barriered channels, parked until the
+  /// round completes or aborts (their service time was already paid).
+  sim::RingDeque<Envelope> held_;
+  /// Acks awaiting durability: tagged with their covering round at
+  /// alignment, released by on_checkpoint_committed.
+  struct DeferredAck {
+    Envelope ack;
+    std::uint64_t ckpt = 0;  // 0 = not yet covered by a round
+  };
+  sim::RingDeque<DeferredAck> deferred_;
+  /// Per-input emission counter feeding child_path().
+  std::uint64_t emission_ordinal_ = 0;
+  /// Pending rehydration (copied from the durable store at on_start; the
+  /// kStateRestore envelope pays read latency + bytes/bandwidth first).
+  std::unique_ptr<state::Snapshot> restore_snap_;
+  std::uint64_t restore_ckpt_ = 0;
 };
 
 class SpoutExecutor final : public Executor {
@@ -198,7 +278,11 @@ class SpoutExecutor final : public Executor {
 
  private:
   void poll();
-  void emit_root(topo::TupleRef tuple, int attempt);
+  /// Emits a root tuple. `uid` is the tree uid for exactly-once lineage:
+  /// 0 for fresh emissions (the drawn root id becomes the uid), the
+  /// original attempt-0 uid for replays (carried in Envelope::path), so
+  /// every attempt derives identical emission paths.
+  void emit_root(topo::TupleRef tuple, int attempt, std::uint64_t uid);
 
   std::unique_ptr<topo::Spout> spout_;
   std::unique_ptr<EmissionHelper> emitter_;

@@ -19,7 +19,8 @@ TupleTracker::TupleTracker(Cluster& cluster,
 
 void TupleTracker::register_root(std::uint64_t root_id,
                                  sched::TaskId spout_task,
-                                 topo::TupleRef tuple, int attempt) {
+                                 topo::TupleRef tuple, int attempt,
+                                 std::uint64_t uid) {
   // A forced re-registration of a tracked root id (spouts re-draw against
   // contains(), but direct callers can still collide) must not overwrite
   // live accounting: settle the old entry first. A live predecessor is
@@ -41,6 +42,7 @@ void TupleTracker::register_root(std::uint64_t root_id,
   e.emit_time = cluster_.sim().now();
   e.tuple = std::move(tuple);
   e.attempt = attempt;
+  e.uid = uid != 0 ? uid : root_id;
   e.epoch = ++next_epoch_;
   const std::uint64_t epoch = e.epoch;
   e.timeout_event = cluster_.sim().schedule_after(
@@ -89,18 +91,51 @@ double TupleTracker::backoff_delay(int attempt) const {
   return delay;
 }
 
+double TupleTracker::retry_delay() const {
+  // At least a quarter second even with backoff disabled, or a dead spout
+  // would be re-polled every event.
+  return std::max(cluster_.config().replay_backoff_base, 0.25);
+}
+
+void TupleTracker::requeue_replay(Envelope env) {
+  const sched::TaskId spout_task = env.dst;
+  const int attempt = env.attempt;
+  const std::uint64_t uid = env.path;
+  topo::TupleRef tuple = std::move(env.tuple);
+  // Already counted as a replay at its first dispatch: record=false.
+  cluster_.sim().schedule_after(
+      retry_delay(),
+      [this, tuple = std::move(tuple), spout_task, attempt, uid] {
+        dispatch_replay(spout_task, tuple, attempt, uid, /*record=*/false);
+      });
+}
+
 void TupleTracker::dispatch_replay(sched::TaskId spout_task,
-                                   topo::TupleRef tuple, int attempt) {
-  recorder_.record_replay(cluster_.sim().now());
+                                   topo::TupleRef tuple, int attempt,
+                                   std::uint64_t uid, bool record) {
+  if (record) recorder_.record_replay(cluster_.sim().now());
   Envelope replay;
   replay.kind = MsgKind::kReplay;
-  replay.tuple = std::move(tuple);
+  replay.tuple = tuple;  // keep our ref: a failed delivery may retry
   replay.attempt = attempt;
-  if (!cluster_.deliver_control(spout_task, std::move(replay))) {
-    // No live spout instance at dispatch time (topology killed, or node
-    // dead with no reassignment published yet): the root fails terminally.
-    ++replays_dropped_;
+  replay.path = uid;
+  if (cluster_.deliver_control(spout_task, std::move(replay))) return;
+  // No live spout instance at dispatch time (topology killed, or node
+  // dead with no reassignment published yet). In state mode, retry while
+  // the topology still has an assignment — exactly-once soaks need every
+  // tree to land, and reassignment will revive the spout. Otherwise the
+  // root fails terminally.
+  if (cluster_.state_enabled() &&
+      cluster_.coordination().get(cluster_.task_info(spout_task).topology) !=
+          nullptr) {
+    cluster_.sim().schedule_after(
+        retry_delay(),
+        [this, tuple = std::move(tuple), spout_task, attempt, uid] {
+          dispatch_replay(spout_task, tuple, attempt, uid, /*record=*/false);
+        });
+    return;
   }
+  ++replays_dropped_;
 }
 
 void TupleTracker::on_timeout(std::uint64_t root_id, std::uint64_t epoch) {
@@ -126,18 +161,19 @@ void TupleTracker::on_timeout(std::uint64_t root_id, std::uint64_t epoch) {
   if (max_replays > 0 && e.attempt + 1 <= max_replays && e.tuple) {
     const double delay = backoff_delay(e.attempt + 1);
     if (delay <= 0.0) {
-      dispatch_replay(e.spout_task, e.tuple, e.attempt + 1);
+      dispatch_replay(e.spout_task, e.tuple, e.attempt + 1, e.uid);
     } else {
-      // Captures {this, TupleRef, task, attempt} = 24 bytes: inside
+      // Captures {this, TupleRef, task, attempt, uid} = 40 bytes: inside
       // InlineFn's inline buffer, no heap allocation per replay. The ref
       // keeps the pooled tuple alive until the replay dispatches, even if
       // the tracker entry is erased meanwhile.
       const sched::TaskId spout_task = e.spout_task;
       const int attempt = e.attempt + 1;
+      const std::uint64_t uid = e.uid;
       topo::TupleRef tuple = e.tuple;
       cluster_.sim().schedule_after(
-          delay, [this, tuple = std::move(tuple), spout_task, attempt] {
-            dispatch_replay(spout_task, tuple, attempt);
+          delay, [this, tuple = std::move(tuple), spout_task, attempt, uid] {
+            dispatch_replay(spout_task, tuple, attempt, uid);
           });
     }
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "metrics/completion.h"
+#include "runtime/envelope.h"
 #include "sched/types.h"
 #include "sim/flat_map.h"
 #include "sim/rng.h"
@@ -26,8 +27,16 @@ class TupleTracker {
   /// Registers a freshly emitted root tuple and arms its timeout. The
   /// tuple is retained for replay (one refcount bump, no copy). Returns
   /// nothing; the caller generated root_id (it is also the acking key).
+  /// `uid` is the tree's stable exactly-once lineage id (the attempt-0
+  /// root id); 0 defaults it to root_id.
   void register_root(std::uint64_t root_id, sched::TaskId spout_task,
-                     topo::TupleRef tuple, int attempt);
+                     topo::TupleRef tuple, int attempt,
+                     std::uint64_t uid = 0);
+
+  /// Takes back a kReplay envelope that was queued at a dying executor
+  /// (state mode only) and re-dispatches it after a short delay, so worker
+  /// churn cannot terminally strand a tree that replay would have saved.
+  void requeue_replay(Envelope env);
 
   /// Called when the spout receives kAckComplete for root_id. Records
   /// completion (late if the timeout already fired) and releases state.
@@ -81,14 +90,20 @@ class TupleTracker {
 
  private:
   void on_timeout(std::uint64_t root_id, std::uint64_t epoch);
+  /// `record=false` on retries/requeues: the replay was already counted at
+  /// its first dispatch.
   void dispatch_replay(sched::TaskId spout_task, topo::TupleRef tuple,
-                       int attempt);
+                       int attempt, std::uint64_t uid, bool record = true);
+  /// Delay before a retry/requeue re-dispatch.
+  [[nodiscard]] double retry_delay() const;
 
   struct Entry {
     sched::TaskId spout_task = -1;
     sim::Time emit_time = 0;
     topo::TupleRef tuple;
     int attempt = 0;
+    /// Stable tree uid across attempts (exactly-once lineage).
+    std::uint64_t uid = 0;
     sim::EventId timeout_event = sim::kInvalidEvent;
     bool failed = false;
     /// Registration generation. Timeout and grace-erase closures carry the

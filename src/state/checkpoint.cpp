@@ -1,0 +1,123 @@
+#include "state/checkpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tstorm::state {
+
+CheckpointCoordinator::CheckpointCoordinator(Callbacks callbacks,
+                                             double abort_timeout)
+    : callbacks_(std::move(callbacks)), abort_timeout_(abort_timeout) {}
+
+void CheckpointCoordinator::register_topology(int topo,
+                                              std::vector<int> tasks) {
+  deregister_topology(topo);
+  Topo t;
+  t.topo = topo;
+  t.stateful_tasks = std::move(tasks);
+  std::sort(t.stateful_tasks.begin(), t.stateful_tasks.end());
+  topologies_.push_back(std::move(t));
+}
+
+void CheckpointCoordinator::deregister_topology(int topo) {
+  std::erase_if(topologies_, [topo](const Topo& t) { return t.topo == topo; });
+}
+
+CheckpointCoordinator::Topo* CheckpointCoordinator::find(int topo) {
+  for (Topo& t : topologies_) {
+    if (t.topo == topo) return &t;
+  }
+  return nullptr;
+}
+
+const CheckpointCoordinator::Topo* CheckpointCoordinator::find(
+    int topo) const {
+  for (const Topo& t : topologies_) {
+    if (t.topo == topo) return &t;
+  }
+  return nullptr;
+}
+
+void CheckpointCoordinator::start_round(Topo& t, double now) {
+  t.round = ++next_round_;
+  t.awaiting = t.stateful_tasks;
+  t.started = now;
+  t.bytes = 0;
+  if (callbacks_.inject_barriers) callbacks_.inject_barriers(t.topo, t.round);
+}
+
+void CheckpointCoordinator::tick(double now) {
+  for (Topo& t : topologies_) {
+    if (t.round != 0) {
+      // Barriers ride the data path, so under backlog a round can
+      // legitimately outlive one tick interval — give it until the abort
+      // timeout before declaring its barriers or writes lost. (Aborting
+      // on every tick would starve commits whenever barrier latency
+      // exceeds the interval, wedging checkpoint-gated acks.)
+      if (now - t.started < abort_timeout_) continue;
+      const std::uint64_t stale = t.round;
+      t.round = 0;
+      ++t.gauges.aborted;
+      if (callbacks_.on_abort) callbacks_.on_abort(t.topo, stale);
+    }
+    start_round(t, now);
+  }
+}
+
+void CheckpointCoordinator::on_snapshot_written(int topo, std::uint64_t ckpt,
+                                                int task, std::uint64_t bytes,
+                                                double now) {
+  Topo* t = find(topo);
+  if (t == nullptr || t->round != ckpt) return;  // stale write, ignore
+  const auto it = std::find(t->awaiting.begin(), t->awaiting.end(), task);
+  if (it == t->awaiting.end()) return;  // duplicate write for this round
+  t->awaiting.erase(it);
+  t->bytes += bytes;
+  if (!t->awaiting.empty()) return;
+
+  // Round complete: every stateful task's snapshot is durable.
+  const double duration = now - t->started;
+  t->round = 0;
+  ++t->gauges.completed;
+  t->gauges.last_id = ckpt;
+  t->gauges.last_bytes = t->bytes;
+  t->gauges.last_duration = duration;
+  if (t->last_complete_time >= 0) {
+    t->interval_sum += now - t->last_complete_time;
+    t->gauges.mean_interval =
+        t->interval_sum / static_cast<double>(t->gauges.completed - 1);
+  }
+  t->last_complete_time = now;
+  if (callbacks_.on_complete) {
+    callbacks_.on_complete(topo, ckpt, duration, t->bytes);
+  }
+}
+
+void CheckpointCoordinator::note_stale_write(int topo) {
+  Topo* t = find(topo);
+  if (t != nullptr) ++t->gauges.stale_writes;
+}
+
+const CheckpointGauges* CheckpointCoordinator::gauges(int topo) const {
+  const Topo* t = find(topo);
+  return t != nullptr ? &t->gauges : nullptr;
+}
+
+std::vector<int> CheckpointCoordinator::topologies() const {
+  std::vector<int> out;
+  out.reserve(topologies_.size());
+  for (const Topo& t : topologies_) out.push_back(t.topo);
+  return out;
+}
+
+std::vector<int> CheckpointCoordinator::awaiting_tasks(int topo) const {
+  const Topo* t = find(topo);
+  return t != nullptr ? t->awaiting : std::vector<int>{};
+}
+
+std::uint64_t CheckpointCoordinator::inflight_round(int topo) const {
+  const Topo* t = find(topo);
+  return t != nullptr ? t->round : 0;
+}
+
+}  // namespace tstorm::state

@@ -1,0 +1,42 @@
+#include "state/durable_store.h"
+
+#include <utility>
+
+namespace tstorm::state {
+
+void DurableStore::put_pending(int task, std::uint64_t ckpt, Snapshot snap) {
+  PerTask& t = tasks_[task];
+  t.pending_id = ckpt;
+  t.pending = std::move(snap);
+  ++writes_;
+}
+
+void DurableStore::mark_completed(std::uint64_t ckpt) {
+  ++completed_;
+  for (auto& [task, t] : tasks_) {
+    if (t.pending_id == ckpt) {
+      t.completed_id = ckpt;
+      t.completed = std::move(t.pending);
+      t.pending_id = 0;
+      t.pending = Snapshot{};
+    }
+  }
+}
+
+const Snapshot* DurableStore::completed(int task,
+                                        std::uint64_t* ckpt_out) const {
+  const auto it = tasks_.find(task);
+  if (it == tasks_.end() || it->second.completed_id == 0) return nullptr;
+  if (ckpt_out != nullptr) *ckpt_out = it->second.completed_id;
+  return &it->second.completed;
+}
+
+std::uint64_t DurableStore::completed_bytes() const {
+  std::uint64_t b = 0;
+  for (const auto& [task, t] : tasks_) {
+    if (t.completed_id != 0) b += t.completed.bytes;
+  }
+  return b;
+}
+
+}  // namespace tstorm::state

@@ -1,0 +1,56 @@
+// Simulated durable checkpoint storage (the HDFS/S3 stand-in). Snapshot
+// writes arrive through the network model (the cluster gives the storage
+// service its own pseudo-node, so checkpoint traffic shares links, can be
+// partitioned away, and pays configurable write latency); this class is
+// only the landing zone: per-task pending snapshots that a completed
+// checkpoint round promotes to restorable.
+//
+// Two-phase visibility is the torn-snapshot guard: a snapshot written for
+// a round that never completes (a crash mid-checkpoint, a lost barrier,
+// a dropped write) stays pending forever and is overwritten by the next
+// round — restore only ever reads the last *completed* checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "state/state_store.h"
+
+namespace tstorm::state {
+
+class DurableStore {
+ public:
+  /// Lands a snapshot written by `task` for checkpoint round `ckpt`.
+  /// Replaces any previous pending snapshot of the task (only the newest
+  /// round can still complete).
+  void put_pending(int task, std::uint64_t ckpt, Snapshot snap);
+
+  /// Marks round `ckpt` completed: every pending snapshot written for it
+  /// becomes the task's restorable checkpoint.
+  void mark_completed(std::uint64_t ckpt);
+
+  /// The task's last completed snapshot, or nullptr when it never
+  /// completed a checkpoint. `ckpt_out` (optional) receives the round id.
+  [[nodiscard]] const Snapshot* completed(int task,
+                                          std::uint64_t* ckpt_out =
+                                              nullptr) const;
+
+  [[nodiscard]] std::uint64_t writes_landed() const { return writes_; }
+  [[nodiscard]] std::uint64_t rounds_completed() const { return completed_; }
+  /// Bytes across all currently retained completed snapshots.
+  [[nodiscard]] std::uint64_t completed_bytes() const;
+
+ private:
+  struct PerTask {
+    std::uint64_t pending_id = 0;  // 0 = none
+    Snapshot pending;
+    std::uint64_t completed_id = 0;  // 0 = none
+    Snapshot completed;
+  };
+
+  std::unordered_map<int, PerTask> tasks_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace tstorm::state

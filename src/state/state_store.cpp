@@ -1,0 +1,121 @@
+#include "state/state_store.h"
+
+#include <cassert>
+
+namespace tstorm::state {
+
+namespace {
+
+/// Per-entry framing overhead in the serialized form (tags + lengths).
+constexpr std::uint64_t kEntryOverhead = 16;
+constexpr std::uint64_t kDedupEntryBytes = 16;  // path + timestamp
+
+}  // namespace
+
+std::uint64_t StateStore::slot_hash(const topo::Value& key) {
+  // Re-mix the FNV output: hash_value is well distributed over its full
+  // width but the table masks to the low bits, and 0 is the empty
+  // sentinel.
+  const std::uint64_t h = mix64(topo::hash_value(key));
+  return h != 0 ? h : 1;
+}
+
+std::size_t StateStore::probe(const topo::Value& key, std::uint64_t h) const {
+  assert(!slots_.empty());
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (slots_[i].hash != 0 &&
+         (slots_[i].hash != h || !(slots_[i].key == key))) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void StateStore::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (Slot& s : old) {
+    if (s.hash == 0) continue;
+    std::size_t i = static_cast<std::size_t>(s.hash) & mask;
+    while (slots_[i].hash != 0) i = (i + 1) & mask;
+    slots_[i] = std::move(s);
+  }
+}
+
+const topo::Value* StateStore::get(const topo::Value& key) const {
+  if (slots_.empty()) return nullptr;
+  const std::size_t i = probe(key, slot_hash(key));
+  return slots_[i].hash != 0 ? &slots_[i].value : nullptr;
+}
+
+topo::Value& StateStore::slot_for(const topo::Value& key) {
+  if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) grow();
+  const std::uint64_t h = slot_hash(key);
+  const std::size_t i = probe(key, h);
+  if (slots_[i].hash == 0) {
+    slots_[i].hash = h;
+    slots_[i].key = key;
+    ++size_;
+    bytes_ += topo::value_bytes(key) + kEntryOverhead;
+  }
+  return slots_[i].value;
+}
+
+void StateStore::put(const topo::Value& key, topo::Value value) {
+  topo::Value& v = slot_for(key);
+  bytes_ -= topo::value_bytes(v);
+  v = std::move(value);
+  bytes_ += topo::value_bytes(v);
+}
+
+std::int64_t StateStore::increment(const topo::Value& key, std::int64_t by) {
+  topo::Value& v = slot_for(key);
+  // A freshly inserted slot holds the default Value (int 0), so the first
+  // increment lands on zero; value_bytes is 8 for ints either way.
+  const std::int64_t next =
+      (v.kind() == topo::Value::Kind::kInt ? v.as_int() : 0) + by;
+  v = topo::Value(next);
+  return next;
+}
+
+bool StateStore::dedup_insert(std::uint64_t path, double now) {
+  bool inserted = false;
+  double& t = dedup_.get_or_insert(path, &inserted);
+  t = now;  // refresh on duplicate: the tree is still being replayed
+  return inserted;
+}
+
+void StateStore::sweep_dedup(double horizon) {
+  dedup_.erase_if(
+      [horizon](std::uint64_t /*path*/, double t) { return t < horizon; });
+}
+
+Snapshot StateStore::snapshot() const {
+  Snapshot snap;
+  snap.entries.reserve(size_);
+  for_each([&snap](const topo::Value& k, const topo::Value& v) {
+    snap.entries.emplace_back(k, v);
+  });
+  snap.dedup.reserve(dedup_.size());
+  dedup_.for_each([&snap](std::uint64_t path, double t) {
+    snap.dedup.emplace_back(path, t);
+  });
+  snap.bytes = bytes_ + kDedupEntryBytes * snap.dedup.size() + 32;
+  return snap;
+}
+
+void StateStore::restore(const Snapshot& snap) {
+  clear();
+  for (const auto& [k, v] : snap.entries) put(k, v);
+  for (const auto& [path, t] : snap.dedup) dedup_[path] = t;
+}
+
+void StateStore::clear() {
+  slots_.clear();
+  size_ = 0;
+  bytes_ = 0;
+  dedup_.clear();
+}
+
+}  // namespace tstorm::state

@@ -61,6 +61,11 @@ BoltDecl& BoltDecl::tick_interval(double seconds) {
   return *this;
 }
 
+BoltDecl& BoltDecl::stateful(bool on) {
+  def_.stateful = on;
+  return *this;
+}
+
 SpoutDecl TopologyBuilder::set_spout(
     const std::string& name, std::function<std::unique_ptr<Spout>()> factory,
     int parallelism) {

@@ -52,6 +52,10 @@ class BoltDecl {
   BoltDecl& direct_grouping(const std::string& source);
   /// Periodic tick delivery (Storm tick tuples); 0 disables.
   BoltDecl& tick_interval(double seconds);
+  /// Marks the bolt's keyed state as runtime-managed (StatefulBolt +
+  /// state::StateStore): checkpointed at barriers, restored on
+  /// reassignment when StateConfig::enabled is on.
+  BoltDecl& stateful(bool on = true);
 
  private:
   friend class TopologyBuilder;

@@ -7,6 +7,7 @@
 // real work the JVM would perform.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -14,7 +15,13 @@
 
 #include "topo/tuple.h"
 
+namespace tstorm::state {
+class StateStore;
+}
+
 namespace tstorm::topo {
+
+class StatefulBolt;
 
 /// Provided by the runtime to a bolt during execute(). Emissions are
 /// automatically anchored to the input tuple (the paper uses anchored
@@ -67,6 +74,37 @@ class Bolt {
 
   /// Simulated CPU cost of one tick (mega-cycles).
   [[nodiscard]] virtual double tick_cost_mega_cycles() const { return 0.05; }
+
+  /// Non-null when the bolt participates in managed keyed state (see
+  /// StatefulBolt). The runtime uses this instead of dynamic_cast on the
+  /// per-executor startup path.
+  [[nodiscard]] virtual StatefulBolt* as_stateful() { return nullptr; }
+};
+
+/// A bolt whose keyed state lives in a runtime-managed state::StateStore
+/// instead of private members. The hosting executor binds a store before
+/// prepare(); the runtime snapshots it at checkpoint barriers and
+/// rehydrates it after reassignment, so counts survive the crashes that
+/// wipe ordinary member maps. Mark the component with
+/// BoltDecl::stateful(true) so barriers and checkpoints reach it.
+class StatefulBolt : public Bolt {
+ public:
+  [[nodiscard]] StatefulBolt* as_stateful() final { return this; }
+
+  /// Called by the runtime before prepare(); the store outlives the bolt.
+  void bind_state(state::StateStore* store) { store_ = store; }
+  [[nodiscard]] bool has_state() const { return store_ != nullptr; }
+
+ protected:
+  /// The task-local keyed store. Only valid when has_state() — a stateful
+  /// bolt constructed outside the runtime (unit tests) must bind first.
+  [[nodiscard]] state::StateStore& state() const {
+    assert(store_ != nullptr);
+    return *store_;
+  }
+
+ private:
+  state::StateStore* store_ = nullptr;
 };
 
 /// A spout produces the input stream. next_tuple() is polled by the

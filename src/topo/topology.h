@@ -53,6 +53,12 @@ struct ComponentDef {
   /// Bolts only: deliver a tick to each task every tick_interval seconds
   /// (Storm's topology.tick.tuple.freq.secs). 0 disables ticks.
   double tick_interval = 0;
+
+  /// Bolts only: the bolt keeps keyed state in a runtime-managed
+  /// state::StateStore (must implement StatefulBolt). Stateful tasks are
+  /// checkpointed at barriers and rehydrated after reassignment when
+  /// StateConfig::enabled is on.
+  bool stateful = false;
 };
 
 /// Thrown by TopologyBuilder::build() on an invalid topology.

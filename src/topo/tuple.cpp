@@ -119,6 +119,19 @@ std::uint64_t value_bytes(const Value& v) {
              : 8;
 }
 
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Value::Kind::kInt:
+      return a.as_int() == b.as_int();
+    case Value::Kind::kDouble:
+      return a.as_double() == b.as_double();
+    case Value::Kind::kString:
+      return a.as_string() == b.as_string();
+  }
+  return false;  // unreachable
+}
+
 // ------------------------------------------------------------------ Tuple
 
 void Tuple::reserve(std::size_t n) {

@@ -157,6 +157,13 @@ static_assert(sizeof(Value) == 32, "Value is sized for 4-per-cacheline-pair");
 /// across platforms (FNV-1a on the canonical byte representation).
 std::uint64_t hash_value(const Value& v);
 
+/// Deep equality: same kind and same payload (strings compare by bytes
+/// regardless of inline/pooled storage). Drives keyed-state lookups.
+[[nodiscard]] bool operator==(const Value& a, const Value& b);
+[[nodiscard]] inline bool operator!=(const Value& a, const Value& b) {
+  return !(a == b);
+}
+
 /// Approximate serialized size of a value in bytes.
 std::uint64_t value_bytes(const Value& v);
 

@@ -44,6 +44,12 @@ const char* to_string(EventKind kind) {
       return "tuple-shed";
     case EventKind::kScheduleRejected:
       return "schedule-rejected";
+    case EventKind::kCheckpointComplete:
+      return "checkpoint-complete";
+    case EventKind::kCheckpointAborted:
+      return "checkpoint-aborted";
+    case EventKind::kStateRestored:
+      return "state-restored";
   }
   return "?";
 }

@@ -49,6 +49,14 @@ enum class EventKind : std::uint8_t {
   /// obs::ProvenanceLog). Emitted only when CoreConfig::trace_decisions
   /// is on, so default trace streams are unchanged.
   kScheduleRejected,
+  /// State: a checkpoint round completed (every stateful task's snapshot
+  /// landed durably; detail carries round id, bytes, duration) or aborted
+  /// (superseded while incomplete — lost barriers or dropped writes).
+  kCheckpointComplete,
+  kCheckpointAborted,
+  /// State: a (re)started stateful executor rehydrated from the durable
+  /// store (detail carries checkpoint id + entry count).
+  kStateRestored,
 };
 
 const char* to_string(EventKind kind);

@@ -63,11 +63,7 @@ double SplitSentenceBolt::cpu_cost_mega_cycles(
 void WordCountBolt::execute(const topo::Tuple& input,
                             topo::BoltContext& ctx) {
   const std::string_view word = input.get_string(0);
-  auto it = counts_.find(word);
-  if (it == counts_.end()) {
-    it = counts_.emplace(std::string(word), 0).first;
-  }
-  const auto count = ++it->second;
+  const std::int64_t count = state().increment(topo::Value(word));
   ctx.emit(topo::Tuple{word, count});
 }
 

@@ -8,9 +8,9 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 
+#include "state/state_store.h"
 #include "topo/component.h"
 #include "workload/external_queue.h"
 #include "workload/textgen.h"
@@ -73,24 +73,28 @@ class IdentityBolt final : public topo::Bolt {
 };
 
 /// "Holds a counter, and increments ... every time a tuple has been
-/// received and processed." Terminal bolt (no emissions).
-class CounterBolt final : public topo::Bolt {
+/// received and processed." Terminal bolt (no emissions). The counter
+/// lives in managed keyed state so it survives reassignment.
+class CounterBolt final : public topo::StatefulBolt {
  public:
   explicit CounterBolt(double cost_mc) : cost_mc_(cost_mc) {}
 
   void execute(const topo::Tuple& /*input*/,
                topo::BoltContext& /*ctx*/) override {
-    ++count_;
+    state().increment(topo::Value("tuples"));
   }
   [[nodiscard]] double cpu_cost_mega_cycles(
       const topo::Tuple& /*input*/) const override {
     return cost_mc_;
   }
-  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t count() const {
+    if (!has_state()) return 0;
+    const topo::Value* v = state().get(topo::Value("tuples"));
+    return v != nullptr ? v->as_int() : 0;
+  }
 
  private:
   double cost_mc_;
-  std::uint64_t count_ = 0;
 };
 
 /// SplitSentence: splits each line into words. Cost scales with line
@@ -109,24 +113,11 @@ class SplitSentenceBolt final : public topo::Bolt {
   double per_word_mc_;
 };
 
-/// Transparent string hashing so unordered_map lookups take
-/// std::string_view without materializing a std::string per probe.
-struct StringHash {
-  using is_transparent = void;
-  std::size_t operator()(std::string_view s) const noexcept {
-    return std::hash<std::string_view>{}(s);
-  }
-};
-
-/// WordCount: increments a per-word counter and emits (word, count).
-/// Heterogeneous lookup: once the vocabulary has been seen, execute()
-/// allocates nothing.
-class WordCountBolt final : public topo::Bolt {
+/// WordCount: increments a per-word counter in managed keyed state and
+/// emits (word, count). Short words stay inline in the Value key, so
+/// once the vocabulary has been seen, execute() allocates nothing.
+class WordCountBolt final : public topo::StatefulBolt {
  public:
-  using CountMap =
-      std::unordered_map<std::string, std::int64_t, StringHash,
-                         std::equal_to<>>;
-
   explicit WordCountBolt(double cost_mc) : cost_mc_(cost_mc) {}
 
   void execute(const topo::Tuple& input, topo::BoltContext& ctx) override;
@@ -134,11 +125,9 @@ class WordCountBolt final : public topo::Bolt {
       const topo::Tuple& /*input*/) const override {
     return cost_mc_;
   }
-  [[nodiscard]] const CountMap& counts() const { return counts_; }
 
  private:
   double cost_mc_;
-  CountMap counts_;
 };
 
 /// Terminal sink persisting results into a (simulated) MongoDB: CPU for
@@ -185,12 +174,14 @@ class LogRulesBolt final : public topo::Bolt {
   double cost_mc_;
 };
 
-/// Indexer bolt: builds the (simulated) index document and forwards it.
-class IndexerBolt final : public topo::Bolt {
+/// Indexer bolt: builds the (simulated) index document, keeps an indexed
+/// document count in managed state, and forwards the document.
+class IndexerBolt final : public topo::StatefulBolt {
  public:
   explicit IndexerBolt(double cost_mc) : cost_mc_(cost_mc) {}
 
   void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    state().increment(topo::Value("docs"));
     ctx.emit(topo::Tuple{input.get_string(0)});
   }
   [[nodiscard]] double cpu_cost_mega_cycles(
@@ -202,16 +193,18 @@ class IndexerBolt final : public topo::Bolt {
   double cost_mc_;
 };
 
-/// Log counter bolt: aggregates per-entry counts and forwards (key, count).
-class LogCountBolt final : public topo::Bolt {
+/// Log counter bolt: aggregates per-entry counts in managed keyed state
+/// and forwards (key, count).
+class LogCountBolt final : public topo::StatefulBolt {
  public:
   explicit LogCountBolt(double cost_mc) : cost_mc_(cost_mc) {}
 
   void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
     const auto& entry = input.get_string(0);
-    const auto n = ++counts_[entry.size() % 97];  // cheap key extraction
-    ctx.emit(topo::Tuple{static_cast<std::int64_t>(entry.size() % 97),
-                         static_cast<std::int64_t>(n)});
+    const auto key =
+        static_cast<std::int64_t>(entry.size() % 97);  // cheap extraction
+    const std::int64_t n = state().increment(topo::Value(key));
+    ctx.emit(topo::Tuple{key, n});
   }
   [[nodiscard]] double cpu_cost_mega_cycles(
       const topo::Tuple& /*input*/) const override {
@@ -220,7 +213,6 @@ class LogCountBolt final : public topo::Bolt {
 
  private:
   double cost_mc_;
-  std::unordered_map<std::size_t, std::int64_t> counts_;
 };
 
 }  // namespace tstorm::workload

@@ -26,6 +26,7 @@ topo::Topology make_throughput_test(const ThroughputTestOptions& options) {
                return std::make_unique<CounterBolt>(options.counter_cost_mc);
              },
              options.counter_parallelism)
+      .stateful()
       .shuffle_grouping("identity");
   return b.build(options.name, options.workers, options.ackers);
 }
@@ -85,6 +86,7 @@ WordCountWorkload make_word_count(const WordCountOptions& options) {
                return std::make_unique<WordCountBolt>(options.count_cost_mc);
              },
              options.counters)
+      .stateful()
       .output_fields({"word", "count"})
       .fields_grouping("split", "word");
   b.set_bolt("mongo",
@@ -127,6 +129,7 @@ LogStreamWorkload make_log_stream(const LogStreamOptions& options) {
                return std::make_unique<IndexerBolt>(options.indexer_cost_mc);
              },
              options.indexers)
+      .stateful()
       .output_fields({"doc"})
       .shuffle_grouping("log-rules");
   b.set_bolt("counter",
@@ -134,6 +137,7 @@ LogStreamWorkload make_log_stream(const LogStreamOptions& options) {
                return std::make_unique<LogCountBolt>(options.counter_cost_mc);
              },
              options.counters)
+      .stateful()
       .output_fields({"key", "count"})
       .fields_grouping("log-rules", "entry");
   b.set_bolt("mongo-index",

@@ -297,6 +297,36 @@ TEST(ReplayBackoff, PendingCapWithReplaysInBackoffDrainsAfterRecovery) {
   EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
+TEST(ChaosFaults, OverlappingLossSpikesRestoreBaseline) {
+  // Regression: each spike's restore target is resolved against the whole
+  // plan at inject time. Reading the live probability when a spike starts
+  // would capture an overlapping spike's elevated value and re-install it
+  // permanently when the later window closes — turning a bounded fault
+  // into steady-state loss for the rest of the run.
+  sim::Simulation sim;
+  ClusterConfig cfg;
+  core::StormSystem sys(sim, cfg);
+  auto& cluster = sys.cluster();
+
+  FaultPlan plan;
+  plan.loss_spike(10.0, 0.5, 20.0, /*control=*/true);  // [10, 30)
+  plan.loss_spike(25.0, 0.2, 15.0, /*control=*/true);  // [25, 40) overlaps
+  plan.inject(cluster);
+
+  auto data_drop = [&] {
+    return cluster.network().drop_prob(net::LinkType::kInterNode);
+  };
+  sim.run_until(12.0);
+  EXPECT_DOUBLE_EQ(data_drop(), 0.5);
+  sim.run_until(27.0);  // second spike's value rules while both are open
+  EXPECT_DOUBLE_EQ(data_drop(), 0.2);
+  sim.run_until(35.0);  // first closed mid-second: second's value persists
+  EXPECT_DOUBLE_EQ(data_drop(), 0.2);
+  sim.run_until(50.0);  // all closed: back to the fault-free baseline
+  EXPECT_DOUBLE_EQ(data_drop(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.network().control_drop_prob(), 0.0);
+}
+
 // ------------------------------------------- Flow control under faults ---
 
 TEST(FlowChaos, LossSpikeWithBackpressureBalancesEveryTuple) {
