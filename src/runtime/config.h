@@ -116,9 +116,11 @@ struct ObsConfig {
 ///     service (a dedicated storage pseudo-node on the network, so writes
 ///     pay latency/bandwidth and can be partitioned away);
 ///   * acks at stateful bolts are deferred until the covering checkpoint
-///     round completes, and replayed duplicates are suppressed through
-///     per-task dedup sets (DropCause::kStateDedup) — together: a tree is
-///     acked only once its updates are durable, and re-applied never.
+///     round completes, and replayed duplicates have their state effects
+///     suppressed through per-task dedup sets (DropCause::kStateDedup)
+///     while still re-emitting their children (delivery downstream stays
+///     at-least-once) — together: a tree is acked only once its updates
+///     are durable, and re-applied never.
 struct StateConfig {
   bool enabled = false;
 

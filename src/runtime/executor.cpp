@@ -458,17 +458,23 @@ void BoltExecutor::process_data(Envelope& env) {
   emitted_xor_ = 0;
   emission_ordinal_ = 0;
   // Exactly-once dedup: an update path already applied means this envelope
-  // is a replayed duplicate — suppress the execution, but still ack (the
-  // replayed tree must complete; this branch contributes no downstream
-  // edges, exactly as if it re-emitted and every child deduped too).
-  if (state_mode_ && store_ != nullptr && env.path != 0 &&
-      !store_->dedup_insert(env.path, cluster_.sim().now())) {
+  // is a replayed duplicate. Its state effect must not re-apply, but its
+  // children must still flow — a stateless consumer downstream may never
+  // have received the original attempt's child if it was lost below this
+  // bolt, and skipping the emission would ack the tree while that consumer
+  // never sees the tuple in any attempt. Re-execute with the store in
+  // replay mode (mutations suppressed, reads see post-application totals):
+  // children re-emit on the same deterministic lineage paths, so stateful
+  // descendants dedup them and stateless descendants keep at-least-once
+  // delivery.
+  const bool duplicate = state_mode_ && store_ != nullptr && env.path != 0 &&
+                         !store_->dedup_insert(env.path, cluster_.sim().now());
+  if (duplicate) {
     cluster_.note_state_dedup();
-    ack_input(env, 0);
-    current_ = nullptr;
-    return;
+    store_->set_replay(true);
   }
   bolt_->execute(*env.tuple, *this);
+  if (duplicate) store_->set_replay(false);
   ack_input(env, emitted_xor_);
   current_ = nullptr;
 }
@@ -520,6 +526,12 @@ void BoltExecutor::on_barrier(const Envelope& env) {
   if (ckpt <= seen) return;  // duplicate channel copy of this round
   seen = ckpt;
   if (ckpt <= last_aligned_) return;  // stale round already finished here
+  // A straggler barrier for a round older than the one mid-alignment
+  // (its round was aborted before this copy arrived): adopting it would
+  // regress aligning_ and drain data parked behind the newer barrier
+  // before the newer snapshot. The channel's seen mark is recorded above;
+  // its barrier for the current round is still awaited.
+  if (aligning_ != 0 && ckpt < aligning_) return;
   if (aligning_ != 0 && ckpt > aligning_) {
     // A newer round's barrier means the coordinator aborted the one we
     // were aligning: abandon it and serve what we held.

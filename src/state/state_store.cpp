@@ -57,12 +57,16 @@ topo::Value& StateStore::slot_for(const topo::Value& key) {
     slots_[i].hash = h;
     slots_[i].key = key;
     ++size_;
-    bytes_ += topo::value_bytes(key) + kEntryOverhead;
+    // The fresh slot's default value counts too — put()/increment()
+    // subtract the old value's bytes before writing the new one.
+    bytes_ += topo::value_bytes(key) + topo::value_bytes(slots_[i].value) +
+              kEntryOverhead;
   }
   return slots_[i].value;
 }
 
 void StateStore::put(const topo::Value& key, topo::Value value) {
+  if (replay_) return;  // suppressed duplicate: the update already applied
   topo::Value& v = slot_for(key);
   bytes_ -= topo::value_bytes(v);
   v = std::move(value);
@@ -70,12 +74,22 @@ void StateStore::put(const topo::Value& key, topo::Value value) {
 }
 
 std::int64_t StateStore::increment(const topo::Value& key, std::int64_t by) {
+  if (replay_) {
+    // Suppressed duplicate: the stored total already includes this update,
+    // so report it as-is — the replayed emission mirrors the original's
+    // exactly-once application.
+    const topo::Value* v = get(key);
+    return v != nullptr && v->kind() == topo::Value::Kind::kInt ? v->as_int()
+                                                                : by;
+  }
   topo::Value& v = slot_for(key);
   // A freshly inserted slot holds the default Value (int 0), so the first
-  // increment lands on zero; value_bytes is 8 for ints either way.
+  // increment lands on zero.
   const std::int64_t next =
       (v.kind() == topo::Value::Kind::kInt ? v.as_int() : 0) + by;
+  bytes_ -= topo::value_bytes(v);
   v = topo::Value(next);
+  bytes_ += topo::value_bytes(v);
   return next;
 }
 

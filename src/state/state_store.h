@@ -88,6 +88,16 @@ class StateStore {
   /// incrementally (no walk at checkpoint time).
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
 
+  /// --- Replay mode (runtime-facing). ---
+  /// While set, mutations are suppressed — put() drops its value and
+  /// increment() returns the stored total unchanged (the suppressed
+  /// update is already in it) — while reads see post-application state.
+  /// The hosting executor wraps re-execution of a dedup-suppressed
+  /// duplicate in this mode, so the bolt re-emits its children without
+  /// re-applying its state effects.
+  void set_replay(bool on) { replay_ = on; }
+  [[nodiscard]] bool in_replay() const { return replay_; }
+
   /// --- Exactly-once dedup (runtime-facing). ---
   /// Records that the update with lineage id `path` was applied at `now`.
   /// Returns false — and refreshes the timestamp — when the path was
@@ -123,6 +133,7 @@ class StateStore {
   std::vector<Slot> slots_;
   std::size_t size_ = 0;
   std::uint64_t bytes_ = 0;
+  bool replay_ = false;
   /// Applied-update paths -> last-touched time. Paths are never 0.
   sim::FlatMap<std::uint64_t, double, 0> dedup_;
 };

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -109,6 +110,54 @@ TEST(StateStore, SnapshotRestoreRoundTrip) {
   EXPECT_EQ(s.get(topo::Value("y")), nullptr);
   EXPECT_FALSE(s.dedup_insert(77, 3.0));
   EXPECT_TRUE(s.dedup_insert(88, 3.0));  // not in the snapshot
+}
+
+TEST(StateStore, ReplayModeSuppressesMutations) {
+  // Replay mode is how the executor re-runs a dedup-suppressed duplicate:
+  // the bolt's emissions happen, its state effects do not.
+  StateStore s;
+  s.increment(topo::Value("w"), 3);
+  const std::uint64_t bytes_before = s.bytes();
+
+  s.set_replay(true);
+  EXPECT_TRUE(s.in_replay());
+  // increment() reports the stored total (which already includes the
+  // suppressed update) without mutating.
+  EXPECT_EQ(s.increment(topo::Value("w"), 1), 3);
+  // put() drops its value entirely.
+  s.put(topo::Value("x"), topo::Value(std::int64_t{5}));
+  // An absent key falls back to `by` (mirrors the original first apply).
+  EXPECT_EQ(s.increment(topo::Value("absent")), 1);
+  s.set_replay(false);
+
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.bytes(), bytes_before);
+  EXPECT_EQ(s.get(topo::Value("w"))->as_int(), 3);
+  EXPECT_EQ(s.get(topo::Value("x")), nullptr);
+  EXPECT_EQ(s.increment(topo::Value("w")), 4);  // mutations resume
+}
+
+TEST(StateStore, ByteAccountingDoesNotDrift) {
+  // bytes_ is maintained incrementally across inserts, overwrites, and
+  // type-changing updates; it must always equal what a freshly-built
+  // store with the same final contents reports (it feeds Snapshot::bytes,
+  // which drives simulated durable-write transmission time).
+  StateStore s;
+  EXPECT_EQ(s.bytes(), 0u);
+  s.increment(topo::Value("k1"));  // fresh insert via increment
+  // One entry: key + int value + per-entry framing overhead.
+  EXPECT_EQ(s.bytes(), topo::value_bytes(topo::Value("k1")) + 8 + 16);
+  s.increment(topo::Value("k1"), 5);
+  s.put(topo::Value("k2"), topo::Value(std::int64_t{9}));
+  s.put(topo::Value("k2"), topo::Value("a value too long to stay put"));
+  s.increment(topo::Value("k2"));  // string -> int again
+  s.put(topo::Value("k3"), topo::Value(1.5));
+
+  StateStore fresh;
+  s.for_each([&fresh](const topo::Value& k, const topo::Value& v) {
+    fresh.put(k, v);
+  });
+  EXPECT_EQ(s.bytes(), fresh.bytes());
 }
 
 TEST(StateStore, LineagePathsAreStableAndNonZero) {
@@ -431,6 +480,98 @@ TEST(StateIntegration, DedupDropsAreAttributed) {
   EXPECT_GT(cluster.state_dedup_suppressed(), 0u);
   EXPECT_EQ(cluster.state_dedup_suppressed(),
             cluster.dropped_by(runtime::DropCause::kStateDedup));
+  InvariantAuditor auditor(cluster);
+  EXPECT_TRUE(auditor.check_now().ok()) << auditor.check_now().to_string();
+}
+
+/// Emits seqs 0..limit-1 once each, publishing how many it produced.
+class SeqSpout final : public topo::Spout {
+ public:
+  SeqSpout(std::int64_t limit, std::shared_ptr<std::int64_t> emitted)
+      : limit_(limit), emitted_(std::move(emitted)) {}
+  std::optional<topo::Tuple> next_tuple() override {
+    if (next_ >= limit_) return std::nullopt;
+    *emitted_ = next_ + 1;
+    return topo::Tuple{next_++};
+  }
+
+ private:
+  std::int64_t limit_;
+  std::int64_t next_ = 0;
+  std::shared_ptr<std::int64_t> emitted_;
+};
+
+/// Stateful pass-through: one managed-state update, one child per input.
+class SeqForwardBolt final : public topo::StatefulBolt {
+ public:
+  void execute(const topo::Tuple& input, topo::BoltContext& ctx) override {
+    state().increment(topo::Value("n"));
+    ctx.emit(topo::Tuple{input.get_int(0)});
+  }
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return 0.05;
+  }
+};
+
+/// Stateless sink recording every distinct seq it ever receives.
+class SeqSinkBolt final : public topo::Bolt {
+ public:
+  explicit SeqSinkBolt(std::shared_ptr<std::set<std::int64_t>> seen)
+      : seen_(std::move(seen)) {}
+  void execute(const topo::Tuple& input,
+               topo::BoltContext& /*ctx*/) override {
+    seen_->insert(input.get_int(0));
+  }
+  [[nodiscard]] double cpu_cost_mega_cycles(
+      const topo::Tuple& /*input*/) const override {
+    return 0.05;
+  }
+
+ private:
+  std::shared_ptr<std::set<std::int64_t>> seen_;
+};
+
+TEST(StateIntegration, ReplayedDuplicatesStillFeedStatelessSinks) {
+  // The acked-but-undelivered scenario: a tuple's child is lost *below*
+  // the stateful bolt, the tree replays, and the replay hits the bolt's
+  // dedup set. The suppressed duplicate must still re-emit its child —
+  // if it contributed no downstream edges, the replayed tree would
+  // complete while the stateless sink never received the tuple in any
+  // attempt. With abandonment effectively impossible (50 replays versus
+  // ~8% loss), every emitted seq must eventually reach the sink.
+  sim::Simulation sim;
+  auto cfg = state_config(7);
+  cfg.failure_detection = false;
+  cfg.network.inter_node_drop_prob = 0.08;
+  cfg.network.intra_process_drop_prob = 0.02;
+  core::StormSystem sys(sim, cfg);
+
+  auto seen = std::make_shared<std::set<std::int64_t>>();
+  auto emitted = std::make_shared<std::int64_t>(0);
+
+  topo::TopologyBuilder b;
+  b.set_spout("seq",
+              [emitted] { return std::make_unique<SeqSpout>(200, emitted); },
+              1)
+      .output_fields({"seq"})
+      .emit_interval(0.05);
+  b.set_bolt("fwd", [] { return std::make_unique<SeqForwardBolt>(); }, 2)
+      .output_fields({"seq"})
+      .stateful()
+      .shuffle_grouping("seq");
+  b.set_bolt("sink", [seen] { return std::make_unique<SeqSinkBolt>(seen); },
+             2)
+      .shuffle_grouping("fwd");
+  sys.submit(b.build("seq-chain", /*num_workers=*/4, /*num_ackers=*/1));
+
+  sim.run_until(200.0);
+
+  auto& cluster = sys.cluster();
+  // The fix is only exercised if replays actually hit the dedup set.
+  EXPECT_GT(cluster.state_dedup_suppressed(), 0u);
+  ASSERT_EQ(*emitted, 200);
+  EXPECT_EQ(static_cast<std::int64_t>(seen->size()), *emitted);
   InvariantAuditor auditor(cluster);
   EXPECT_TRUE(auditor.check_now().ok()) << auditor.check_now().to_string();
 }
