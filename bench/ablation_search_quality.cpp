@@ -23,13 +23,13 @@ sched::SchedulerInput pipeline_input(int nodes, int stages, int width,
   sched::SchedulerInput in;
   for (int n = 0; n < nodes; ++n) {
     for (int p = 0; p < 4; ++p) in.slots.push_back({n * 4 + p, n, p});
-    in.node_capacity_mhz.push_back(8000.0 * 0.85);
+    in.nodes.push_back({n, {8000.0 * 0.85}});
   }
   sim::Rng rng(seed);
   const int total = stages * width;
   in.topologies.push_back({0, nodes});
   for (int i = 0; i < total; ++i) {
-    in.executors.push_back({i, 0, rng.uniform(10.0, 120.0)});
+    in.executors.push_back({i, 0, {rng.uniform(10.0, 120.0)}});
   }
   for (int s = 0; s + 1 < stages; ++s) {
     for (int a = 0; a < width; ++a) {

@@ -21,12 +21,12 @@ sched::SchedulerInput make_input(int executors, int nodes,
     for (int p = 0; p < slots_per_node; ++p) {
       in.slots.push_back({n * slots_per_node + p, n, p});
     }
-    in.node_capacity_mhz.push_back(8000.0 * 0.85);
+    in.nodes.push_back({n, {8000.0 * 0.85}});
   }
   in.topologies.push_back({0, nodes * slots_per_node});
   sim::Rng rng(1234);
   for (int i = 0; i < executors; ++i) {
-    in.executors.push_back({i, 0, rng.uniform(5.0, 60.0)});
+    in.executors.push_back({i, 0, {rng.uniform(5.0, 60.0)}});
   }
   // Sparse random traffic, ~4 edges per executor (chain-ish topologies).
   for (int i = 0; i < executors * 4; ++i) {

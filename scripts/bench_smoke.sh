@@ -21,7 +21,8 @@ trap 'rm -f "$out"' EXIT
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$(nproc)" \
   --target core_event_bench --target flow_bench \
-  --target recovery_bench --target trace_export >/dev/null
+  --target recovery_bench --target ablation_resource_aware \
+  --target trace_export >/dev/null
 
 "$build/bench/core_event_bench" \
   --quick --assert-zero-alloc --label "$label" --out "$out"
@@ -42,6 +43,14 @@ echo >> "$repo/BENCH_history.jsonl"
 # unless the cluster checkpointed before the kill and recovered within
 # the budget.
 "$build/bench/recovery_bench" --quick --label "$label" --out "$out"
+tr -d '\n' < "$out" >> "$repo/BENCH_history.jsonl"
+echo >> "$repo/BENCH_history.jsonl"
+
+# Resource-aware placement on a heterogeneous fleet: the binary exits
+# nonzero unless rstorm beats round-robin on both inter-node traffic and
+# completed tuples; the python check asserts the JSON is well-formed.
+"$build/bench/ablation_resource_aware" --quick --label "$label" --out "$out"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
 tr -d '\n' < "$out" >> "$repo/BENCH_history.jsonl"
 echo >> "$repo/BENCH_history.jsonl"
 echo "appended '$label' to BENCH_history.jsonl"

@@ -28,8 +28,13 @@ struct CoreConfig {
 
   /// Scheduler-visible capacity as a fraction of physical capacity
   /// ("C_k can be set to a fraction of its actual capacity to prevent
-  /// overloading", section IV-C).
+  /// overloading", section IV-C). Applied to every resource dimension.
   double capacity_fraction = 0.85;
+
+  /// MHz of effective load charged per queued envelope when schedulers
+  /// account capacity (SchedulerInput::queue_pressure_weight). 0 (default)
+  /// reproduces the paper exactly: capacity is CPU load only.
+  double queue_pressure_weight = 0.0;
 
   /// A node whose estimated workload exceeds this fraction of its actual
   /// capacity is considered overloaded. Context switching on a crowded

@@ -25,6 +25,19 @@ void LoadMonitor::sample() {
     max_queue = std::max(max_queue, depth);
     db_.update_executor_load(ex->task(), mhz);
     db_.update_executor_queue(ex->task(), depth);
+    // Memory demand: bytes resident in the input queue plus keyed state
+    // (stateful bolts), in MiB. Network demand: wire bytes emitted over
+    // the window, in Mbit/s. Together with MHz these form the executor's
+    // resource-demand vector.
+    std::uint64_t resident = ex->queued_bytes();
+    if (const auto* store = ex->state_store(); store != nullptr) {
+      resident += store->bytes();
+    }
+    db_.update_executor_memory(ex->task(),
+                               static_cast<double>(resident) / (1024.0 * 1024.0));
+    db_.update_executor_network(
+        ex->task(),
+        static_cast<double>(ex->take_sent_bytes()) * 8.0 / period_ / 1e6);
     ex->drain_sent([this, ex](sched::TaskId dst, std::uint64_t count) {
       db_.update_traffic(ex->task(), dst,
                          static_cast<double>(count) / period_);

@@ -15,7 +15,7 @@ IEstimator& MetricsDb::estimator(
 void MetricsDb::set_alpha(double alpha) {
   factory_ = make_ewma_factory(alpha);
   for (auto* map : {&loads_, &queues_, &node_loads_, &node_queues_,
-                    &traffic_}) {
+                    &traffic_, &memories_, &networks_}) {
     for (auto& [key, est] : *map) {
       if (auto* ewma = dynamic_cast<EwmaEstimator*>(est.get());
           ewma != nullptr) {
@@ -32,6 +32,26 @@ void MetricsDb::update_executor_load(sched::TaskId task, double mhz_sample) {
 void MetricsDb::update_executor_queue(sched::TaskId task,
                                       double depth_sample) {
   estimator(queues_, static_cast<std::uint32_t>(task)).update(depth_sample);
+}
+
+void MetricsDb::update_executor_memory(sched::TaskId task,
+                                       double mib_sample) {
+  estimator(memories_, static_cast<std::uint32_t>(task)).update(mib_sample);
+}
+
+void MetricsDb::update_executor_network(sched::TaskId task,
+                                        double mbps_sample) {
+  estimator(networks_, static_cast<std::uint32_t>(task)).update(mbps_sample);
+}
+
+double MetricsDb::executor_memory(sched::TaskId task) const {
+  auto it = memories_.find(static_cast<std::uint32_t>(task));
+  return it == memories_.end() ? 0.0 : it->second->value();
+}
+
+double MetricsDb::executor_network(sched::TaskId task) const {
+  auto it = networks_.find(static_cast<std::uint32_t>(task));
+  return it == networks_.end() ? 0.0 : it->second->value();
 }
 
 void MetricsDb::update_traffic(sched::TaskId src, sched::TaskId dst,
@@ -85,6 +105,8 @@ std::vector<sched::TrafficEntry> MetricsDb::traffic_snapshot() const {
 void MetricsDb::forget_task(sched::TaskId task) {
   loads_.erase(static_cast<std::uint32_t>(task));
   queues_.erase(static_cast<std::uint32_t>(task));
+  memories_.erase(static_cast<std::uint32_t>(task));
+  networks_.erase(static_cast<std::uint32_t>(task));
   std::erase_if(traffic_, [task](const auto& kv) {
     const auto src = static_cast<sched::TaskId>(kv.first >> 32);
     const auto dst = static_cast<sched::TaskId>(kv.first & 0xffffffffu);

@@ -43,6 +43,12 @@ class MetricsDb {
   void update_executor_queue(sched::TaskId task, double depth_sample);
   void update_traffic(sched::TaskId src, sched::TaskId dst,
                       double rate_sample);
+  /// Resident bytes of one executor (queued tuples + keyed state), MiB —
+  /// the memory component of its resource-demand vector.
+  void update_executor_memory(sched::TaskId task, double mib_sample);
+  /// Emitted wire traffic of one executor, Mbit/s — the network component
+  /// of its resource-demand vector.
+  void update_executor_network(sched::TaskId task, double mbps_sample);
   void update_node_load(sched::NodeId node, double mhz_sample);
   /// Deepest executor input queue on the node (overload indicator: CPU
   /// load alone cannot distinguish a deliberately packed node from a
@@ -52,6 +58,15 @@ class MetricsDb {
   /// --- Read by the schedule generator. ---
   [[nodiscard]] double executor_load(sched::TaskId task) const;
   [[nodiscard]] double executor_queue(sched::TaskId task) const;
+  [[nodiscard]] double executor_memory(sched::TaskId task) const;
+  [[nodiscard]] double executor_network(sched::TaskId task) const;
+  /// Full estimated demand vector of one executor (CPU MHz, memory MiB,
+  /// network Mbps) — what the schedule generator feeds ExecutorSpec.
+  [[nodiscard]] sched::ResourceVector executor_demand(
+      sched::TaskId task) const {
+    return {executor_load(task), executor_memory(task),
+            executor_network(task)};
+  }
   [[nodiscard]] double node_load(sched::NodeId node) const;
   [[nodiscard]] double node_queue(sched::NodeId node) const;
   [[nodiscard]] std::vector<sched::TrafficEntry> traffic_snapshot() const;
@@ -86,6 +101,8 @@ class MetricsDb {
   std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> node_loads_;
   std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> node_queues_;
   std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> traffic_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> memories_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<IEstimator>> networks_;
   sched::Placement published_;
   sched::AssignmentVersion published_version_ = 0;
 };

@@ -56,12 +56,17 @@ sched::SchedulerInput ScheduleGenerator::build_input() const {
   }
   auto input = cluster_.scheduler_input(topos);
   for (auto& e : input.executors) {
-    e.load_mhz = db_.executor_load(e.task);
+    e.demand = db_.executor_demand(e.task);
     e.queue_depth = db_.executor_queue(e.task);
   }
   input.traffic = db_.traffic_snapshot();
-  for (auto& c : input.node_capacity_mhz) c *= config_.capacity_fraction;
+  // "C_k can be set to a fraction of its actual capacity" applies to every
+  // resource dimension, not just CPU.
+  for (auto& n : input.nodes) {
+    for (auto& c : n.capacity) c *= config_.capacity_fraction;
+  }
   input.gamma = config_.gamma;
+  input.queue_pressure_weight = config_.queue_pressure_weight;
   return input;
 }
 
@@ -93,10 +98,9 @@ bool ScheduleGenerator::generate_pass(bool overload_triggered,
   auto input = build_input();
   rec.executors = static_cast<int>(input.executors.size());
   for (sched::NodeId n = 0;
-       n < static_cast<sched::NodeId>(input.node_capacity_mhz.size()); ++n) {
+       n < static_cast<sched::NodeId>(input.nodes.size()); ++n) {
     rec.node_loads.push_back(
-        {n, db_.node_load(n),
-         input.node_capacity_mhz[static_cast<std::size_t>(n)]});
+        {n, db_.node_load(n), input.node_capacity_mhz(n)});
   }
 
   // An empty pass (no assigned topologies) is not a generation: counting

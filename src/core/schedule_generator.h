@@ -56,6 +56,12 @@ class ScheduleGenerator {
   [[nodiscard]] double gamma() const { return config_.gamma; }
   [[nodiscard]] CoreConfig& config() { return config_; }
 
+  /// The exact SchedulerInput a generation pass would run on right now
+  /// (estimated demands, measured traffic, capacity-fraction-scaled node
+  /// vectors). Pure inspection — no events, no RNG; benches and tools use
+  /// it to evaluate placements with the generator's own view of the world.
+  [[nodiscard]] sched::SchedulerInput build_input() const;
+
   /// --- Stats. ---
   [[nodiscard]] std::uint64_t generations() const { return generations_; }
   [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
@@ -65,7 +71,6 @@ class ScheduleGenerator {
 
  private:
   void overload_check();
-  [[nodiscard]] sched::SchedulerInput build_input() const;
   bool generate_pass(bool overload_triggered, obs::DecisionTrigger trigger);
   /// Records the pass's DecisionRecord (and, with trace_decisions on, a
   /// kScheduleRejected trace event for rejections). Returns "published?".

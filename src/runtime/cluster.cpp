@@ -39,11 +39,29 @@ ClusterConfig validated(ClusterConfig config) {
   config.cores_per_node =
       clamp_min_int(config.cores_per_node, 1, "cores_per_node");
   config.per_core_mhz = clamp_min(config.per_core_mhz, 1.0, "per_core_mhz");
+  config.memory_mib_per_node =
+      clamp_min(config.memory_mib_per_node, 1.0, "memory_mib_per_node");
+  config.network_mbps_per_node =
+      clamp_min(config.network_mbps_per_node, 1.0, "network_mbps_per_node");
+  if (!config.node_groups.empty()) {
+    // Groups are the compact fleet description; expand them to the flat
+    // per-node list (which they override — debug builds flag the clash).
+    assert(config.nodes.empty() &&
+           "ClusterConfig: node_groups and nodes are mutually exclusive");
+    config.nodes.clear();
+    for (auto& group : config.node_groups) {
+      group.count = clamp_min_int(group.count, 0, "NodeGroup::count");
+      for (int i = 0; i < group.count; ++i) config.nodes.push_back(group.spec);
+    }
+  }
   for (auto& spec : config.nodes) {
     spec.slots = clamp_min_int(spec.slots, 1, "NodeSpec::slots");
     spec.cores = clamp_min_int(spec.cores, 1, "NodeSpec::cores");
     spec.per_core_mhz =
         clamp_min(spec.per_core_mhz, 1.0, "NodeSpec::per_core_mhz");
+    spec.memory_mib = clamp_min(spec.memory_mib, 1.0, "NodeSpec::memory_mib");
+    spec.network_mbps =
+        clamp_min(spec.network_mbps, 1.0, "NodeSpec::network_mbps");
   }
   config.network = net::validated(config.network);
   config.worker_start_delay =
@@ -151,14 +169,16 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
   } else {
     specs.assign(static_cast<std::size_t>(config_.num_nodes),
                  NodeSpec{config_.slots_per_node, config_.cores_per_node,
-                          config_.per_core_mhz});
+                          config_.per_core_mhz, config_.memory_mib_per_node,
+                          config_.network_mbps_per_node});
   }
   nodes_.reserve(static_cast<std::size_t>(config_.num_nodes));
   slot_offsets_.reserve(static_cast<std::size_t>(config_.num_nodes) + 1);
   slot_offsets_.push_back(0);
   for (int i = 0; i < config_.num_nodes; ++i) {
     const auto& spec = specs[static_cast<std::size_t>(i)];
-    nodes_.emplace_back(i, spec.cores, spec.per_core_mhz);
+    nodes_.emplace_back(i, spec.cores, spec.per_core_mhz, spec.memory_mib,
+                        spec.network_mbps);
     slot_offsets_.push_back(slot_offsets_.back() + spec.slots);
   }
   supervisors_.reserve(static_cast<std::size_t>(config_.num_nodes));
@@ -378,10 +398,12 @@ sched::SchedulerInput Cluster::scheduler_input(
   for (const auto& slot : all_slots()) {
     if (usable(slot.node)) input.slots.push_back(slot);
   }
-  input.node_capacity_mhz.reserve(static_cast<std::size_t>(config_.num_nodes));
+  input.nodes.reserve(static_cast<std::size_t>(config_.num_nodes));
   for (const auto& node : nodes_) {
-    input.node_capacity_mhz.push_back(
-        usable(node.id()) ? node.capacity_mhz() : 0.0);
+    // A dead node keeps its entry with zero capacity (and no slots above).
+    input.nodes.push_back({node.id(), usable(node.id())
+                                          ? node.capacity_vector()
+                                          : sched::ResourceVector{}});
   }
 
   std::unordered_set<sched::TopologyId> included(topos.begin(), topos.end());
@@ -389,7 +411,7 @@ sched::SchedulerInput Cluster::scheduler_input(
     const topo::Topology& t = topology(id);
     input.topologies.push_back({id, t.num_workers()});
     for (sched::TaskId task : tasks_of(id)) {
-      input.executors.push_back({task, id, 0.0});
+      input.executors.push_back({task, id});
     }
     // Task-level topology edges (producer tasks x consumer tasks).
     for (const auto& component : t.components()) {

@@ -14,10 +14,23 @@ namespace tstorm::runtime {
 
 /// Per-node hardware override for heterogeneous clusters ("different
 /// worker nodes may have different numbers of slots", paper section II).
+/// Memory and NIC capacity feed the scheduler's resource vector; they do
+/// not constrain the simulation itself (the network fault model has its
+/// own bandwidth), so resource-blind runs behave exactly as before.
 struct NodeSpec {
   int slots = 4;
   int cores = 4;
   double per_core_mhz = 2000.0;
+  double memory_mib = 16384.0;
+  double network_mbps = 1000.0;
+};
+
+/// A run of identical nodes — the compact way to describe a heterogeneous
+/// fleet ("8 small + 2 big"). validated() expands ClusterConfig::node_groups
+/// into the flat per-node list.
+struct NodeGroup {
+  int count = 0;
+  NodeSpec spec;
 };
 
 /// What to do with a data tuple arriving at a hard-full executor queue.
@@ -163,9 +176,19 @@ struct ClusterConfig {
   int cores_per_node = 4;
   double per_core_mhz = 2000.0;
 
+  /// Homogeneous memory / NIC capacity per node (scheduler-visible only;
+  /// see NodeSpec). Overridden per node by `nodes` / `node_groups`.
+  double memory_mib_per_node = 16384.0;
+  double network_mbps_per_node = 1000.0;
+
   /// Non-empty => heterogeneous cluster: one NodeSpec per node (overrides
   /// num_nodes/slots_per_node/cores_per_node/per_core_mhz above).
   std::vector<NodeSpec> nodes;
+
+  /// Compact heterogeneous-fleet form: runs of identical nodes, expanded
+  /// into `nodes` by validated(). Mutually exclusive with a non-empty
+  /// `nodes` (groups win; debug builds assert).
+  std::vector<NodeGroup> node_groups;
 
   net::NetworkConfig network;
 

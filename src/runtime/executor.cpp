@@ -167,6 +167,7 @@ void Executor::finish_service() {
 
 void Executor::send_to(sched::TaskId dst, Envelope env) {
   ++sent_[dst];
+  sent_bytes_ += env.bytes();
   cluster_.send(*this, dst, std::move(env));
 }
 

@@ -62,6 +62,20 @@ class Executor {
   /// Mega-cycles consumed since the last call (divide by the sampling
   /// period for MHz).
   double take_mega_cycles();
+  /// Wire bytes sent since the last call (divide by the sampling period
+  /// for the executor's network demand).
+  std::uint64_t take_sent_bytes() {
+    const std::uint64_t bytes = sent_bytes_;
+    sent_bytes_ = 0;
+    return bytes;
+  }
+  /// Wire bytes of everything currently queued (the executor's transient
+  /// memory footprint). Walks the queue — sampling-path only, not hot.
+  [[nodiscard]] std::uint64_t queued_bytes() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < queue_.size(); ++i) total += queue_[i].bytes();
+    return total;
+  }
   /// Envelopes sent per destination task since the last call: invokes
   /// `fn(dst, count)` per destination, then resets the counters (capacity
   /// is kept — the sampling loop performs no steady-state allocations).
@@ -133,6 +147,7 @@ class Executor {
   bool busy_ = false;
   sim::EventId service_event_ = sim::kInvalidEvent;
   double mega_cycles_ = 0;
+  std::uint64_t sent_bytes_ = 0;
   sim::FlatMap<sched::TaskId, std::uint64_t, -1> sent_;
 };
 

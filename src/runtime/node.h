@@ -13,8 +13,13 @@ namespace tstorm::runtime {
 
 class WorkerNode {
  public:
-  WorkerNode(sched::NodeId id, int cores, double per_core_mhz)
-      : id_(id), cores_(cores), per_core_mhz_(per_core_mhz) {}
+  WorkerNode(sched::NodeId id, int cores, double per_core_mhz,
+             double memory_mib = 16384.0, double network_mbps = 1000.0)
+      : id_(id),
+        cores_(cores),
+        per_core_mhz_(per_core_mhz),
+        memory_mib_(memory_mib),
+        network_mbps_(network_mbps) {}
 
   [[nodiscard]] sched::NodeId id() const { return id_; }
   [[nodiscard]] int cores() const { return cores_; }
@@ -26,6 +31,15 @@ class WorkerNode {
   [[nodiscard]] double per_core_mhz() const { return per_core_mhz_; }
   [[nodiscard]] double capacity_mhz() const {
     return static_cast<double>(cores_) * per_core_mhz_;
+  }
+
+  /// Scheduler-visible RAM / NIC capacity (see runtime::NodeSpec).
+  [[nodiscard]] double memory_mib() const { return memory_mib_; }
+  [[nodiscard]] double network_mbps() const { return network_mbps_; }
+
+  /// Full capacity vector in the scheduler's resource layout.
+  [[nodiscard]] sched::ResourceVector capacity_vector() const {
+    return {capacity_mhz(), memory_mib_, network_mbps_};
   }
 
   /// Executor thread lifecycle (resident whether or not it is busy).
@@ -77,6 +91,8 @@ class WorkerNode {
   sched::NodeId id_;
   int cores_;
   double per_core_mhz_;
+  double memory_mib_;
+  double network_mbps_;
   int resident_ = 0;
   int busy_ = 0;
   int workers_ = 0;

@@ -95,8 +95,7 @@ ScheduleResult place_groups(const SchedulerInput& in,
                             const std::vector<std::vector<TaskId>>& groups,
                             const std::vector<WeightedEdge>& edges) {
   ScheduleResult result;
-  std::unordered_set<SlotIndex> occupied(in.occupied_slots.begin(),
-                                         in.occupied_slots.end());
+  const auto occupied = occupied_slot_set(in);
   // Free slots grouped per node, in (node, port) order.
   std::map<NodeId, std::vector<SlotIndex>> free_slots;
   {
@@ -217,7 +216,9 @@ ScheduleResult run_two_phase(const SchedulerInput& in,
       if (!g.empty()) all_groups.push_back(std::move(g));
     }
   }
-  return place_groups(in, all_groups, edges);
+  ScheduleResult result = place_groups(in, all_groups, edges);
+  audit_capacity(in, result);  // capacity-blind: flag overcommit post hoc
+  return result;
 }
 
 }  // namespace

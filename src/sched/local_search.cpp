@@ -23,8 +23,10 @@ struct State {
   Placement placement;
   std::unordered_map<SlotIndex, TopologyId> slot_owner;  // -1 none
   std::unordered_map<SlotIndex, int> slot_count;
-  std::unordered_map<NodeId, double> node_load;
+  std::unordered_map<NodeId, ResourceVector> node_used;
   std::unordered_map<NodeId, int> node_count;
+  /// Queue-pressure weight used for effective demands (from the input).
+  double qw = 0;
   // (topology, node) -> slot used there.
   std::unordered_map<long long, SlotIndex> topo_slot;
 
@@ -48,12 +50,18 @@ struct State {
     return total;
   }
 
+  ResourceVector demand(TaskId e) const {
+    return executors.at(e)->effective_demand(qw);
+  }
+
   void remove(TaskId e) {
     const SlotIndex slot = placement.at(e);
     const NodeId node = slot_node.at(slot);
     const TopologyId topo = executors.at(e)->topology;
     placement.erase(e);
-    node_load[node] -= executors.at(e)->load_mhz;
+    const ResourceVector d = demand(e);
+    auto& used = node_used[node];
+    for (std::size_t i = 0; i < kResourceDims; ++i) used[i] -= d[i];
     node_count[node] -= 1;
     if (--slot_count[slot] == 0) {
       slot_owner.erase(slot);
@@ -65,7 +73,7 @@ struct State {
     const NodeId node = slot_node.at(slot);
     const TopologyId topo = executors.at(e)->topology;
     placement[e] = slot;
-    node_load[node] += executors.at(e)->load_mhz;
+    node_used[node] = resource_add(node_used[node], demand(e));
     node_count[node] += 1;
     slot_count[slot] += 1;
     slot_owner[slot] = topo;
@@ -82,6 +90,7 @@ ScheduleResult LocalSearchScheduler::schedule(const SchedulerInput& in) {
   if (result.assignment.size() != in.executors.size()) return result;
 
   State st;
+  st.qw = in.queue_pressure_weight;
   for (const auto& e : in.executors) {
     st.executors.emplace(e.task, &e);
     st.adj[e.task];
@@ -98,12 +107,13 @@ ScheduleResult LocalSearchScheduler::schedule(const SchedulerInput& in) {
     st.slot_node.emplace(s.slot, s.node);
     st.node_slots[s.node].push_back(s.slot);
   }
-  st.blocked.insert(in.occupied_slots.begin(), in.occupied_slots.end());
+  st.blocked = occupied_slot_set(in);
   st.placement = result.assignment;
   for (const auto& [task, slot] : st.placement) {
     const NodeId node = st.slot_node.at(slot);
     const TopologyId topo = st.executors.at(task)->topology;
-    st.node_load[node] += st.executors.at(task)->load_mhz;
+    st.node_used[node] =
+        resource_add(st.node_used[node], st.demand(task));
     st.node_count[node] += 1;
     st.slot_count[slot] += 1;
     st.slot_owner[slot] = topo;
@@ -115,11 +125,6 @@ ScheduleResult LocalSearchScheduler::schedule(const SchedulerInput& in) {
   const int count_limit = std::max(
       1, static_cast<int>(std::ceil(in.gamma * ne / std::max(1.0, kk) -
                                     1e-9)));
-  const auto capacity = [&](NodeId k) {
-    return k >= 0 && k < static_cast<NodeId>(in.node_capacity_mhz.size())
-               ? in.node_capacity_mhz[static_cast<std::size_t>(k)]
-               : std::numeric_limits<double>::infinity();
-  };
 
   for (int pass = 0; pass < options_.max_passes; ++pass) {
     double pass_gain = 0;
@@ -149,7 +154,10 @@ ScheduleResult LocalSearchScheduler::schedule(const SchedulerInput& in) {
           }
         }
         if (target == kUnassigned) continue;
-        if (st.node_load[node] + e.load_mhz > capacity(node)) continue;
+        if (!resource_fits(st.node_used[node], st.demand(e.task),
+                           in.node_capacity(node))) {
+          continue;
+        }
         if (st.node_count[node] + 1 > count_limit) continue;
         const double gain =
             st.local_traffic(e.task, node) - cur_local;
@@ -191,12 +199,15 @@ ScheduleResult LocalSearchScheduler::schedule(const SchedulerInput& in) {
                             st.local_traffic(f.task, nb) - 2.0 * r_ef;
         if (gain <= 1e-9) continue;
         // Capacity after the exchange (counts are unchanged).
-        if (st.node_load[na] - e.load_mhz + f.load_mhz > capacity(na)) {
-          continue;
-        }
-        if (st.node_load[nb] - f.load_mhz + e.load_mhz > capacity(nb)) {
-          continue;
-        }
+        const ResourceVector de = st.demand(e.task);
+        const ResourceVector df = st.demand(f.task);
+        const auto swap_fits = [&](NodeId n, const ResourceVector& out,
+                                   const ResourceVector& inc) {
+          ResourceVector used = st.node_used[n];
+          for (std::size_t d = 0; d < kResourceDims; ++d) used[d] -= out[d];
+          return resource_fits(used, inc, in.node_capacity(n));
+        };
+        if (!swap_fits(na, de, df) || !swap_fits(nb, df, de)) continue;
         st.remove(e.task);
         st.remove(f.task);
         st.place(e.task, sf);

@@ -21,6 +21,7 @@ ScheduleResult ManualScheduler::schedule(const SchedulerInput& in) {
       result.assignment[e.task] = ring[next++ % ring.size()];
     }
   }
+  audit_capacity(in, result);  // capacity-blind: flag overcommit post hoc
   return result;
 }
 

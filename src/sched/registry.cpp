@@ -5,6 +5,7 @@
 #include "sched/aniello.h"
 #include "sched/local_search.h"
 #include "sched/round_robin.h"
+#include "sched/rstorm.h"
 #include "sched/traffic_aware.h"
 
 namespace tstorm::sched {
@@ -34,6 +35,9 @@ AlgorithmRegistry& AlgorithmRegistry::instance() {
     registry.register_algorithm("local-search", [] {
       return std::unique_ptr<ISchedulingAlgorithm>(
           new LocalSearchScheduler());
+    });
+    registry.register_algorithm("rstorm", [] {
+      return std::unique_ptr<ISchedulingAlgorithm>(new RStormScheduler());
     });
     return true;
   }();

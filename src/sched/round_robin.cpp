@@ -11,8 +11,7 @@ namespace {
 /// Free slots interleaved across nodes: (port 0, node 0), (port 0, node 1),
 /// ..., (port 1, node 0), ... — Storm's slot ordering.
 std::vector<SlotSpec> interleaved_free_slots(const SchedulerInput& in) {
-  std::unordered_set<SlotIndex> occupied(in.occupied_slots.begin(),
-                                         in.occupied_slots.end());
+  const auto occupied = occupied_slot_set(in);
   std::vector<SlotSpec> slots;
   for (const auto& s : in.slots) {
     if (!occupied.contains(s.slot)) slots.push_back(s);
@@ -32,11 +31,23 @@ int requested_workers(const SchedulerInput& in, TopologyId topo) {
   return 1;
 }
 
-/// Executors grouped by topology, preserving input (task) order.
+/// Executors grouped by topology, preserving input (task) order. With
+/// queue pressure enabled, each group is dealt heaviest-effective-load
+/// first so backlogged executors land on distinct workers before the deal
+/// wraps around (weight 0 keeps the historical input order exactly).
 std::map<TopologyId, std::vector<const ExecutorSpec*>> by_topology(
     const SchedulerInput& in) {
   std::map<TopologyId, std::vector<const ExecutorSpec*>> groups;
   for (const auto& e : in.executors) groups[e.topology].push_back(&e);
+  const double qw = in.queue_pressure_weight;
+  if (qw > 0) {
+    for (auto& [topo, execs] : groups) {
+      std::stable_sort(execs.begin(), execs.end(),
+                       [qw](const ExecutorSpec* a, const ExecutorSpec* b) {
+                         return a->effective_load(qw) > b->effective_load(qw);
+                       });
+    }
+  }
   return groups;
 }
 
@@ -60,13 +71,13 @@ ScheduleResult RoundRobinScheduler::schedule(const SchedulerInput& in) {
       result.assignment[execs[i]->task] = workers[i % workers.size()];
     }
   }
+  audit_capacity(in, result);  // capacity-blind: flag overcommit post hoc
   return result;
 }
 
 ScheduleResult TStormInitialScheduler::schedule(const SchedulerInput& in) {
   ScheduleResult result;
-  std::unordered_set<SlotIndex> occupied(in.occupied_slots.begin(),
-                                         in.occupied_slots.end());
+  auto occupied = occupied_slot_set(in);
 
   for (auto& [topo, execs] : by_topology(in)) {
     // First free slot on each node, nodes in ascending order.
@@ -93,6 +104,7 @@ ScheduleResult TStormInitialScheduler::schedule(const SchedulerInput& in) {
       result.assignment[execs[i]->task] = workers[i % workers.size()];
     }
   }
+  audit_capacity(in, result);  // capacity-blind: flag overcommit post hoc
   return result;
 }
 

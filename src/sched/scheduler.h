@@ -34,6 +34,8 @@ class ISchedulingAlgorithm {
 ///   "tstorm-initial"  T-Storm's modified default (N*w = min(Nu, Nw))
 ///   "aniello-offline" Aniello et al. DEBS'13 offline scheduler
 ///   "aniello-online"  Aniello et al. DEBS'13 online scheduler
+///   "local-search"    Algorithm 1 + hill-climbing move/swap passes
+///   "rstorm"          R-Storm resource-aware placement (Middleware '15)
 class AlgorithmRegistry {
  public:
   using Factory = std::function<std::unique_ptr<ISchedulingAlgorithm>()>;

@@ -9,7 +9,9 @@ namespace tstorm::sched {
 namespace {
 
 struct NodeState {
-  double load = 0;
+  /// Resources already committed on this node (CPU dim carries effective
+  /// load, i.e. includes queue pressure when enabled).
+  ResourceVector used{};
   int count = 0;
   /// topology -> slot locked for it on this node (constraint 1).
   std::unordered_map<TopologyId, SlotIndex> topo_slot;
@@ -65,18 +67,12 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
     slots[s.slot] = SlotState{s.node, -1, false};
     max_node = std::max(max_node, s.node);
   }
-  for (SlotIndex blocked : in.occupied_slots) {
+  const auto occupied = occupied_slot_set(in);
+  for (SlotIndex blocked : occupied) {
     auto it = slots.find(blocked);
     if (it != slots.end()) it->second.blocked = true;
   }
   std::vector<NodeState> nodes(static_cast<std::size_t>(max_node) + 1);
-
-  const auto capacity = [&](NodeId k) -> double {
-    if (k >= 0 && k < static_cast<NodeId>(in.node_capacity_mhz.size())) {
-      return in.node_capacity_mhz[static_cast<std::size_t>(k)];
-    }
-    return std::numeric_limits<double>::infinity();
-  };
 
   const double ne = static_cast<double>(in.executors.size());
   const double kk = static_cast<double>(max_node + 1);
@@ -87,10 +83,11 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
   std::unordered_map<TaskId, NodeId> task_node;
 
   // Effective capacity footprint: CPU load plus optional queue pressure
-  // (weight 0 == the paper's Algorithm 1, CPU only).
-  const auto effective_load = [&](const ExecutorSpec& e) {
-    return e.load_mhz + options_.queue_pressure_weight * e.queue_depth;
-  };
+  // (weight 0 == the paper's Algorithm 1, CPU only). The option overrides
+  // the input-level weight when set explicitly.
+  const double qw = options_.queue_pressure_weight != 0.0
+                        ? options_.queue_pressure_weight
+                        : in.queue_pressure_weight;
 
   // --- Line 3-7: greedy assignment. ---
   for (const ExecutorSpec* e : order) {
@@ -103,6 +100,7 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
       traffic_on_node[it->second] += rate;
       assigned_traffic += rate;
     }
+    const ResourceVector demand = e->effective_demand(qw);
 
     // Three passes: full constraints, then count relaxed, then capacity
     // relaxed. Constraint (1) always holds.
@@ -127,7 +125,8 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
         if (lock != nst.topo_slot.end() && lock->second != s.slot) continue;
         if (st.owner != -1 && st.owner != e->topology) continue;
 
-        if (enforce_capacity && nst.load + effective_load(*e) > capacity(k)) {
+        if (enforce_capacity &&
+            !resource_fits(nst.used, demand, in.node_capacity(k))) {
           continue;
         }
         if (enforce_count && nst.count + 1 > count_limit) continue;
@@ -139,16 +138,17 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
 
         // Tie-breaks: prefer fuller nodes (consolidation — this is what
         // lets a large gamma pack a light topology onto few nodes, Fig.
-        // 5(c)), then lower load in the capacity-relaxed pass, then lower
-        // slot index (determinism). Like the paper's Algorithm 1, ties are
-        // resolved greedily, which is not optimal for partitioning
-        // disjoint chains (see ChainPartitioningIsGreedy test).
+        // 5(c)), then lower CPU load in the capacity-relaxed pass, then
+        // lower slot index (determinism). Like the paper's Algorithm 1,
+        // ties are resolved greedily, which is not optimal for
+        // partitioning disjoint chains (see ChainPartitioningIsGreedy
+        // test).
         bool better = false;
         if (cost < best_cost - 1e-12) {
           better = true;
         } else if (cost < best_cost + 1e-12) {
           if (!enforce_capacity) {
-            better = nst.load < best_load;
+            better = nst.used[kCpuMhz] < best_load;
           } else {
             better = nst.count > best_count ||
                      (nst.count == best_count && s.slot < best);
@@ -157,7 +157,7 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
         if (better) {
           best = s.slot;
           best_cost = cost;
-          best_load = nst.load;
+          best_load = nst.used[kCpuMhz];
           best_count = nst.count;
         }
       }
@@ -180,7 +180,7 @@ ScheduleResult TrafficAwareScheduler::schedule(const SchedulerInput& in) {
     NodeState& nst = nodes[static_cast<std::size_t>(st.node)];
     st.owner = e->topology;
     nst.topo_slot[e->topology] = best;
-    nst.load += effective_load(*e);
+    nst.used = resource_add(nst.used, demand);
     nst.count += 1;
     task_node[e->task] = st.node;
     result.assignment[e->task] = best;

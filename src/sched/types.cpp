@@ -1,5 +1,8 @@
 #include "sched/types.h"
 
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
 #include <set>
 #include <unordered_set>
 
@@ -14,6 +17,62 @@ std::unordered_map<SlotIndex, NodeId> slot_to_node(const SchedulerInput& in) {
 }
 
 }  // namespace
+
+ResourceVector resource_add(const ResourceVector& a, const ResourceVector& b) {
+  ResourceVector r;
+  for (std::size_t d = 0; d < kResourceDims; ++d) r[d] = a[d] + b[d];
+  return r;
+}
+
+bool resource_fits(const ResourceVector& used, const ResourceVector& demand,
+                   const ResourceVector& capacity) {
+  for (std::size_t d = 0; d < kResourceDims; ++d) {
+    if (used[d] + demand[d] > capacity[d]) return false;
+  }
+  return true;
+}
+
+ResourceVector SchedulerInput::node_capacity(NodeId k) const {
+  if (nodes.empty()) return unconstrained_capacity();
+  if (k < 0 || static_cast<std::size_t>(k) >= nodes.size()) {
+    assert(false && "node_capacity: NodeId out of range");
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "[sched] node_capacity: NodeId %d out of range [0, %zu); "
+                   "clamping (further warnings suppressed)\n",
+                   k, nodes.size());
+    }
+    k = std::clamp<NodeId>(k, 0, static_cast<NodeId>(nodes.size()) - 1);
+  }
+  return nodes[static_cast<std::size_t>(k)].capacity;
+}
+
+std::unordered_set<SlotIndex> occupied_slot_set(const SchedulerInput& in) {
+  return {in.occupied_slots.begin(), in.occupied_slots.end()};
+}
+
+void audit_capacity(const SchedulerInput& in, ScheduleResult& result) {
+  if (in.nodes.empty()) return;
+  const auto s2n = slot_to_node(in);
+  std::unordered_map<NodeId, ResourceVector> used;
+  for (const auto& e : in.executors) {
+    auto a = result.assignment.find(e.task);
+    if (a == result.assignment.end()) continue;
+    auto n = s2n.find(a->second);
+    if (n == s2n.end()) continue;
+    auto [it, inserted] = used.emplace(n->second, ResourceVector{});
+    it->second = resource_add(
+        it->second, e.effective_demand(in.queue_pressure_weight));
+  }
+  for (const auto& [node, total] : used) {
+    if (!resource_fits(total, ResourceVector{}, in.node_capacity(node))) {
+      result.capacity_relaxed = true;
+      return;
+    }
+  }
+}
 
 double internode_traffic(const SchedulerInput& in, const Placement& p) {
   const auto s2n = slot_to_node(in);

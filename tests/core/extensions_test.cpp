@@ -155,7 +155,7 @@ TEST(NodeFailure, FailedNodeDropsOutOfSchedulerInput) {
   EXPECT_FALSE(cluster.node_available(3));
   const auto input = cluster.scheduler_input({});
   for (const auto& slot : input.slots) EXPECT_NE(slot.node, 3);
-  EXPECT_DOUBLE_EQ(input.node_capacity_mhz[3], 0.0);
+  EXPECT_DOUBLE_EQ(input.node_capacity_mhz(3), 0.0);
   EXPECT_TRUE(cluster.recover_node(3));
   EXPECT_EQ(cluster.scheduler_input({}).slots.size(), 40u);
 }

@@ -354,11 +354,12 @@ TEST(QueuePressure, TrafficAwareWeightInflatesEffectiveLoad) {
   // cleanly; with a positive weight the capacity constraint must be
   // relaxed to place it.
   sched::SchedulerInput in;
-  in.executors.push_back({/*task=*/0, /*topology=*/0, /*load_mhz=*/50.0,
+  in.executors.push_back({/*task=*/0, /*topology=*/0,
+                          /*demand=*/{/*load_mhz=*/50.0},
                           /*queue_depth=*/100.0});
   in.slots.push_back({0, 0, 0});
   in.topologies.push_back({0, 1});
-  in.node_capacity_mhz = {100.0};
+  in.nodes = {{0, {100.0}}};
 
   sched::TrafficAwareScheduler plain;
   const auto base = plain.schedule(in);

@@ -35,6 +35,8 @@ TEST(MetricsDbAlpha, SetAlphaReachesEveryEstimatorMap) {
   db.update_node_load(0, 100.0);
   db.update_node_queue(0, 100.0);
   db.update_traffic(1, 2, 100.0);
+  db.update_executor_memory(1, 100.0);
+  db.update_executor_network(1, 100.0);
 
   // alpha = 1 freezes every estimator (Y = 1*Y + 0*S). If set_alpha skips
   // a map — node_queues_ used to be skipped — that quantity keeps
@@ -45,8 +47,12 @@ TEST(MetricsDbAlpha, SetAlphaReachesEveryEstimatorMap) {
   db.update_node_load(0, 999.0);
   db.update_node_queue(0, 999.0);
   db.update_traffic(1, 2, 999.0);
+  db.update_executor_memory(1, 999.0);
+  db.update_executor_network(1, 999.0);
 
   EXPECT_DOUBLE_EQ(db.executor_load(1), 100.0);
+  EXPECT_DOUBLE_EQ(db.executor_memory(1), 100.0);
+  EXPECT_DOUBLE_EQ(db.executor_network(1), 100.0);
   EXPECT_DOUBLE_EQ(db.executor_queue(1), 100.0);
   EXPECT_DOUBLE_EQ(db.node_load(0), 100.0);
   EXPECT_DOUBLE_EQ(db.node_queue(0), 100.0);

@@ -100,8 +100,11 @@ TEST(Cluster, SchedulerInputContainsEverything) {
   EXPECT_EQ(in.slots.size(), 40u);
   ASSERT_EQ(in.topologies.size(), 1u);
   EXPECT_EQ(in.topologies[0].requested_workers, 4);
-  EXPECT_EQ(in.node_capacity_mhz.size(), 10u);
-  EXPECT_DOUBLE_EQ(in.node_capacity_mhz[0], 8000.0);
+  EXPECT_EQ(in.nodes.size(), 10u);
+  EXPECT_DOUBLE_EQ(in.node_capacity_mhz(0), 8000.0);
+  // Default homogeneous memory / NIC capacities ride along.
+  EXPECT_DOUBLE_EQ(in.nodes[0].capacity[sched::kMemoryMib], 16384.0);
+  EXPECT_DOUBLE_EQ(in.nodes[0].capacity[sched::kNetworkMbps], 1000.0);
   // Task edges: 2 spouts x 3 bolts.
   EXPECT_EQ(in.topology_edges.size(), 6u);
   EXPECT_TRUE(in.occupied_slots.empty());

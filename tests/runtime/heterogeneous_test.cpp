@@ -58,10 +58,10 @@ TEST(Heterogeneous, SchedulerInputCarriesPerNodeCapacity) {
   sim::Simulation sim;
   Cluster c(sim, mixed_cluster());
   const auto in = c.scheduler_input({});
-  ASSERT_EQ(in.node_capacity_mhz.size(), 3u);
-  EXPECT_DOUBLE_EQ(in.node_capacity_mhz[0], 2000.0);
-  EXPECT_DOUBLE_EQ(in.node_capacity_mhz[1], 8000.0);
-  EXPECT_DOUBLE_EQ(in.node_capacity_mhz[2], 24000.0);
+  ASSERT_EQ(in.nodes.size(), 3u);
+  EXPECT_DOUBLE_EQ(in.node_capacity_mhz(0), 2000.0);
+  EXPECT_DOUBLE_EQ(in.node_capacity_mhz(1), 8000.0);
+  EXPECT_DOUBLE_EQ(in.node_capacity_mhz(2), 24000.0);
   EXPECT_EQ(in.slots.size(), 14u);
 }
 

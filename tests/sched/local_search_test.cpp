@@ -18,7 +18,7 @@ SchedulerInput make_input(int nodes, int slots_per_node, double capacity) {
     for (int p = 0; p < slots_per_node; ++p) {
       in.slots.push_back({n * slots_per_node + p, n, p});
     }
-    in.node_capacity_mhz.push_back(capacity);
+    in.nodes.push_back({n, {capacity}});
   }
   return in;
 }
@@ -27,7 +27,7 @@ void add_executors(SchedulerInput& in, TopologyId topo, int count,
                    double load = 10.0) {
   const int base = static_cast<int>(in.executors.size());
   for (int i = 0; i < count; ++i) {
-    in.executors.push_back({base + i, topo, load});
+    in.executors.push_back({base + i, topo, {load}});
   }
   in.topologies.push_back({topo, count});
 }

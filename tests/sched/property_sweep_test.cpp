@@ -41,7 +41,7 @@ SchedulerInput build_input(const SweepCase& c) {
     for (int p = 0; p < c.slots_per_node; ++p) {
       in.slots.push_back({n * c.slots_per_node + p, n, p});
     }
-    in.node_capacity_mhz.push_back(8000.0);
+    in.nodes.push_back({n, {8000.0}});
   }
   int task = 0;
   for (int t = 0; t < c.topologies; ++t) {
@@ -49,7 +49,7 @@ SchedulerInput build_input(const SweepCase& c) {
         {t, static_cast<int>(rng.uniform_int(1, c.nodes * 2))});
     const int first = task;
     for (int e = 0; e < c.executors_per_topology; ++e) {
-      in.executors.push_back({task++, t, rng.uniform(1.0, 80.0)});
+      in.executors.push_back({task++, t, {rng.uniform(1.0, 80.0)}});
     }
     // Random intra-topology traffic + chain edges.
     for (int e = first; e < task - 1; ++e) {
@@ -108,7 +108,8 @@ std::vector<SweepCase> make_cases() {
   std::vector<SweepCase> cases;
   std::uint64_t seed = 1;
   for (const char* alg : {"traffic-aware", "round-robin", "tstorm-initial",
-                          "aniello-offline", "aniello-online"}) {
+                          "aniello-offline", "aniello-online", "local-search",
+                          "rstorm"}) {
     for (const auto& [nodes, spn, topos, execs] :
          {std::tuple{1, 1, 1, 1}, {1, 4, 1, 9}, {3, 2, 2, 5},
           {10, 4, 1, 45}, {10, 4, 3, 12}, {16, 8, 4, 25},
@@ -133,10 +134,10 @@ TEST(AlgorithmSweep, TrafficAwareHandlesMassiveInput) {
 
 TEST(AlgorithmSweep, NoSlotsProducesEmptyPlacement) {
   SchedulerInput in;
-  in.executors.push_back({0, 0, 1.0});
+  in.executors.push_back({0, 0, {1.0}});
   in.topologies.push_back({0, 1});
   for (const char* name : {"traffic-aware", "round-robin", "tstorm-initial",
-                           "aniello-online"}) {
+                           "aniello-online", "rstorm"}) {
     auto alg = AlgorithmRegistry::instance().create(name);
     const auto r = alg->schedule(in);
     EXPECT_TRUE(r.assignment.empty()) << name;
@@ -146,9 +147,9 @@ TEST(AlgorithmSweep, NoSlotsProducesEmptyPlacement) {
 TEST(AlgorithmSweep, AllSlotsOccupiedProducesEmptyPlacement) {
   SchedulerInput in;
   in.slots = {{0, 0, 0}, {1, 0, 1}};
-  in.node_capacity_mhz = {8000.0};
+  in.nodes = {{0, {8000.0}}};
   in.occupied_slots = {0, 1};
-  in.executors.push_back({0, 0, 1.0});
+  in.executors.push_back({0, 0, {1.0}});
   in.topologies.push_back({0, 1});
   for (const char* name : {"round-robin", "tstorm-initial"}) {
     auto alg = AlgorithmRegistry::instance().create(name);

@@ -19,7 +19,7 @@ SchedulerInput make_input(int nodes, int slots_per_node) {
     for (int p = 0; p < slots_per_node; ++p) {
       in.slots.push_back({n * slots_per_node + p, n, p});
     }
-    in.node_capacity_mhz.push_back(8000.0);
+    in.nodes.push_back({n, {8000.0}});
   }
   return in;
 }
@@ -28,7 +28,7 @@ void add_executors(SchedulerInput& in, TopologyId topo, int count,
                    int requested_workers) {
   const int base = static_cast<int>(in.executors.size());
   for (int i = 0; i < count; ++i) {
-    in.executors.push_back({base + i, topo, 0.0});
+    in.executors.push_back({base + i, topo});
   }
   in.topologies.push_back({topo, requested_workers});
 }

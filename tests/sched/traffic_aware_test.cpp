@@ -16,7 +16,7 @@ SchedulerInput make_input(int nodes, int slots_per_node, double capacity) {
     for (int p = 0; p < slots_per_node; ++p) {
       in.slots.push_back({n * slots_per_node + p, n, p});
     }
-    in.node_capacity_mhz.push_back(capacity);
+    in.nodes.push_back({n, {capacity}});
   }
   return in;
 }
@@ -25,7 +25,7 @@ void add_executors(SchedulerInput& in, TopologyId topo, int count,
                    double load = 10.0) {
   const int base = static_cast<int>(in.executors.size());
   for (int i = 0; i < count; ++i) {
-    in.executors.push_back({base + i, topo, load});
+    in.executors.push_back({base + i, topo, {load}});
   }
   in.topologies.push_back({topo, count});
 }
@@ -136,7 +136,7 @@ TEST(TrafficAware, RespectsCapacityConstraint) {
   EXPECT_FALSE(r.capacity_relaxed);
   std::unordered_map<NodeId, double> load;
   for (const auto& e : in.executors) {
-    load[node_of(in, r.assignment, e.task)] += e.load_mhz;
+    load[node_of(in, r.assignment, e.task)] += e.load_mhz();
   }
   for (const auto& [n, l] : load) EXPECT_LE(l, 100.0 + 1e-9);
   EXPECT_EQ(nodes_used(in, r.assignment), 4);
@@ -290,7 +290,7 @@ TEST_P(TrafficAwareSweep, InvariantsHold) {
   if (!r.capacity_relaxed) {
     std::unordered_map<NodeId, double> load;
     for (const auto& e : in.executors) {
-      load[node_of(in, r.assignment, e.task)] += e.load_mhz;
+      load[node_of(in, r.assignment, e.task)] += e.load_mhz();
     }
     for (const auto& [n, l] : load) EXPECT_LE(l, 8000.0 * 0.85 + 1e-6);
   }
